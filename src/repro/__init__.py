@@ -1,0 +1,81 @@
+"""repro — reproduction of "Effective Jump-Pointer Prefetching for Linked
+Data Structures" (Roth & Sohi, ISCA 1999).
+
+Public API highlights:
+
+* :func:`repro.simulate` / :func:`repro.simulate_decomposed` — run a
+  mini-ISA program on the simulated Table-2 machine.
+* :func:`repro.get_workload` — the Olden kernels and their JPP variants.
+* :class:`repro.MachineConfig` — machine parameters (Table 2 defaults).
+* :mod:`repro.core` — the JPP framework: idioms, the software jump queue,
+  and the Table-1 characterization.
+* :mod:`repro.harness` — experiment runners for every paper table/figure.
+"""
+
+from .config import (
+    BranchPredConfig,
+    BusConfig,
+    CacheConfig,
+    FuncUnitConfig,
+    MachineConfig,
+    PrefetchConfig,
+    TLBConfig,
+    bench_config,
+    small_config,
+    table2_config,
+)
+from .cpu import (
+    Decomposition,
+    SimResult,
+    make_engine,
+    simulate,
+    simulate_decomposed,
+)
+from .core import Idiom, characterize, recommended_interval
+from .errors import (
+    AssemblyError,
+    ConfigError,
+    ExecutionError,
+    ReproError,
+    WorkloadError,
+)
+from .isa import Assembler, Interpreter, Op, Program, run_to_completion
+from .workloads import BuiltProgram, Workload, get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssemblyError",
+    "Assembler",
+    "BranchPredConfig",
+    "BuiltProgram",
+    "BusConfig",
+    "CacheConfig",
+    "ConfigError",
+    "Decomposition",
+    "ExecutionError",
+    "FuncUnitConfig",
+    "Idiom",
+    "Interpreter",
+    "MachineConfig",
+    "Op",
+    "PrefetchConfig",
+    "Program",
+    "ReproError",
+    "SimResult",
+    "TLBConfig",
+    "Workload",
+    "WorkloadError",
+    "__version__",
+    "bench_config",
+    "characterize",
+    "get_workload",
+    "make_engine",
+    "recommended_interval",
+    "run_to_completion",
+    "simulate",
+    "simulate_decomposed",
+    "small_config",
+    "table2_config",
+    "workload_names",
+]

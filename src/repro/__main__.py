@@ -1,0 +1,157 @@
+"""Command-line interface: reproduce tables/figures and run single configs.
+
+Examples::
+
+    python -m repro list                         # workloads and schemes
+    python -m repro run health --scheme hardware # one benchmark, one scheme
+    python -m repro run health --all             # full Figure-5 row
+    python -m repro table1                       # characterization table
+    python -m repro figure4 | figure5 | figure6 | figure7
+    python -m repro run treeadd --scheme software --param levels=9 --param passes=2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import bench_config, table2_config, workload_names
+from .harness import (
+    SCHEMES,
+    BenchmarkRunner,
+    figure4,
+    figure5,
+    figure5_summary,
+    figure6,
+    figure7,
+    format_table,
+    table1,
+)
+from .workloads import workload_class
+
+
+def _parse_params(items: list[str]) -> dict:
+    params = {}
+    for item in items:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise SystemExit(f"--param expects key=value, got {item!r}")
+        try:
+            params[key] = int(value)
+        except ValueError:
+            try:
+                params[key] = float(value)
+            except ValueError:
+                params[key] = value
+    return params
+
+
+def _config(args) -> object:
+    cfg = table2_config() if args.table2 else bench_config()
+    if args.memory_latency:
+        cfg = cfg.with_memory_latency(args.memory_latency)
+    if args.interval:
+        cfg = cfg.with_jump_interval(args.interval)
+    return cfg
+
+
+def cmd_list(args) -> int:
+    rows = []
+    for name in workload_names():
+        cls = workload_class(name)
+        rows.append({
+            "workload": name,
+            "variants": " ".join(cls.variants),
+            "structure": cls.structure,
+        })
+    print(format_table(rows, "Workloads"))
+    print(f"\nschemes: {' '.join(SCHEMES)}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    cfg = _config(args)
+    params = _parse_params(args.param)
+    if args.small:
+        params = {**workload_class(args.workload).test_params(), **params}
+    runner = BenchmarkRunner(args.workload, cfg, params)
+    schemes = SCHEMES if args.all else (args.scheme,)
+    base = runner.run("base")
+    rows = []
+    for scheme in schemes:
+        run = base if scheme == "base" else runner.run(scheme, args.idiom)
+        rows.append({
+            "scheme": scheme,
+            "variant": run.variant,
+            "cycles": run.total,
+            "compute": run.compute,
+            "memory": run.memory,
+            "normalized": round(run.normalized(base.total), 3),
+            "ipc": round(run.result.ipc, 2),
+        })
+    print(format_table(rows, f"{args.workload} on {type(cfg).__name__}"))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    cfg = _config(args)
+    name = args.command
+    if name == "table1":
+        print(format_table(table1(cfg), "Table 1 — benchmark characterization"))
+    elif name == "figure4":
+        print(format_table(figure4(cfg), "Figure 4 — idiom comparison"))
+    elif name == "figure5":
+        rows = figure5(cfg)
+        print(format_table(rows, "Figure 5 — implementation comparison"))
+        print()
+        print(format_table(figure5_summary(rows), "Memory-bound averages"))
+    elif name == "figure6":
+        print(format_table(figure6(cfg), "Figure 6 — L1<->L2 bytes per instruction"))
+    elif name == "figure7":
+        print(format_table(figure7(cfg), "Figure 7 — latency tolerance (health)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Jump-pointer prefetching reproduction (Roth & Sohi, ISCA 1999)",
+    )
+    parser.add_argument("--table2", action="store_true",
+                        help="use the paper's full-size Table-2 machine "
+                             "instead of the scaled bench machine")
+    parser.add_argument("--memory-latency", type=int, default=0,
+                        help="override main-memory latency (cycles)")
+    parser.add_argument("--interval", type=int, default=0,
+                        help="override the hardware jump interval")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and schemes")
+
+    run = sub.add_parser("run", help="run one workload")
+    run.add_argument("workload", choices=workload_names())
+    run.add_argument("--scheme", choices=SCHEMES, default="base")
+    run.add_argument("--all", action="store_true", help="run every scheme")
+    run.add_argument("--idiom", default=None,
+                     help="idiom for software/cooperative (default: paper's choice)")
+    run.add_argument("--param", action="append", default=[],
+                     metavar="KEY=VALUE", help="workload parameter override")
+    run.add_argument("--small", action="store_true",
+                     help="use the quick test-size parameters")
+
+    for fig in ("table1", "figure4", "figure5", "figure6", "figure7"):
+        sub.add_parser(fig, help=f"reproduce {fig}")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list(args)
+    if args.command == "run":
+        return cmd_run(args)
+    return cmd_figure(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,229 @@
+"""Machine configuration dataclasses.
+
+The defaults mirror Table 2 of the paper (the "Simulated Machine
+Configuration" used for every experiment).  All sizes are in bytes and all
+latencies in core cycles unless noted otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+
+def _check_power_of_two(name: str, value: int) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ConfigError(f"{name} must be a positive power of two, got {value}")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and access latency of one set-associative cache."""
+
+    size: int
+    line: int
+    assoc: int
+    latency: int
+
+    def __post_init__(self) -> None:
+        _check_power_of_two("cache size", self.size)
+        _check_power_of_two("cache line", self.line)
+        if self.assoc <= 0:
+            raise ConfigError(f"associativity must be positive, got {self.assoc}")
+        if self.size % (self.line * self.assoc):
+            raise ConfigError(
+                f"cache size {self.size} not divisible by line*assoc "
+                f"({self.line}*{self.assoc})"
+            )
+        if self.latency < 0:
+            raise ConfigError("cache latency must be non-negative")
+
+    @property
+    def sets(self) -> int:
+        return self.size // (self.line * self.assoc)
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """A fully-associative TLB with hardware miss handling."""
+
+    entries: int
+    page_size: int = 4096
+    miss_penalty: int = 30
+
+    def __post_init__(self) -> None:
+        _check_power_of_two("TLB page size", self.page_size)
+        if self.entries <= 0:
+            raise ConfigError("TLB must have at least one entry")
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """A bus transferring ``width`` bytes per bus cycle.
+
+    ``clock_divisor`` is the ratio of core frequency to bus frequency; the
+    paper's L2 bus runs at 1/2 core frequency and the memory bus at 1/4.
+    """
+
+    width: int = 8
+    clock_divisor: int = 2
+
+    def cycles_for(self, nbytes: int) -> int:
+        """Core cycles the bus is occupied transferring ``nbytes``."""
+        beats = -(-nbytes // self.width)  # ceil division
+        return beats * self.clock_divisor
+
+
+@dataclass(frozen=True)
+class FuncUnitConfig:
+    """Counts and latencies of the functional unit pool (Table 2)."""
+
+    int_alu: int = 4
+    int_alu_latency: int = 1
+    int_mul: int = 1
+    int_mul_latency: int = 3
+    int_div: int = 1
+    int_div_latency: int = 20
+    fp_add: int = 2
+    fp_add_latency: int = 2
+    fp_mul: int = 1
+    fp_mul_latency: int = 4
+    fp_div: int = 1
+    fp_div_latency: int = 24
+    mem_ports: int = 2
+    mem_port_latency: int = 1
+
+
+@dataclass(frozen=True)
+class BranchPredConfig:
+    """8K-entry combined gshare/bimodal predictor with a 2K 4-way BTB."""
+
+    meta_entries: int = 8192
+    bimodal_entries: int = 8192
+    gshare_entries: int = 8192
+    history_bits: int = 10
+    btb_entries: int = 2048
+    btb_assoc: int = 4
+    ras_entries: int = 16
+    misprediction_penalty: int = 3
+    """Front-end refill cycles after the branch resolves."""
+
+
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Parameters of the DBP and jump-pointer hardware (Table 2)."""
+
+    # Dependence predictor (DBP)
+    dep_entries: int = 256
+    dep_assoc: int = 4
+    dep_queries_per_cycle: int = 2
+    # Prefetch request queue / prefetch buffer
+    prq_entries: int = 8
+    prefetch_buffer: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size=2048, line=32, assoc=8, latency=1)
+    )
+    # Jump-pointer hardware
+    jqt_entries: int = 32
+    jump_interval: int = 8
+    jpr_accesses_per_cycle: int = 1
+    max_chain_depth: int = 8
+    """Safety bound on recursively chained prefetches per trigger."""
+    onchip_table_entries: int = 0
+    """If non-zero, store jump-pointers in an on-chip table of this many
+    entries instead of allocator padding (the Section 3.3 ablation)."""
+    adaptive_interval: bool = False
+    """Enable the adaptive per-PC jump interval (the paper's Section 6
+    future-work item; see :mod:`repro.prefetch.adaptive`)."""
+    adaptive_max_interval: int = 64
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full simulated machine, defaulting to the paper's Table 2."""
+
+    fetch_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    window: int = 64
+    lsq_entries: int = 32
+    front_pipeline_depth: int = 2
+    """Cycles between fetch and dispatch (decode/rename)."""
+
+    il1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size=32 * 1024, line=32, assoc=2, latency=1)
+    )
+    dl1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size=64 * 1024, line=32, assoc=2, latency=1)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size=512 * 1024, line=64, assoc=4, latency=12)
+    )
+    memory_latency: int = 70
+    max_outstanding_misses: int = 8
+    itlb: TLBConfig = field(default_factory=lambda: TLBConfig(entries=16))
+    dtlb: TLBConfig = field(default_factory=lambda: TLBConfig(entries=32))
+    l2_bus: BusConfig = field(default_factory=lambda: BusConfig(width=8, clock_divisor=2))
+    mem_bus: BusConfig = field(default_factory=lambda: BusConfig(width=8, clock_divisor=4))
+
+    func_units: FuncUnitConfig = field(default_factory=FuncUnitConfig)
+    branch_pred: BranchPredConfig = field(default_factory=BranchPredConfig)
+    prefetch: PrefetchConfig = field(default_factory=PrefetchConfig)
+
+    alloc_latency: int = 8
+    """Charged latency of the ALLOC instruction (library allocator fast path)."""
+
+    perfect_data_memory: bool = False
+    """When True every data access costs one cycle; used for the paper's
+    compute-time decomposition (memory stall = realistic - perfect)."""
+
+    def with_memory_latency(self, latency: int) -> "MachineConfig":
+        """The Figure 7 sweep: same machine, different main-memory latency."""
+        return replace(self, memory_latency=latency)
+
+    def with_jump_interval(self, interval: int) -> "MachineConfig":
+        return replace(self, prefetch=replace(self.prefetch, jump_interval=interval))
+
+    def perfect(self) -> "MachineConfig":
+        """Variant used to measure compute time (single-cycle data memory)."""
+        return replace(self, perfect_data_memory=True)
+
+
+def table2_config() -> MachineConfig:
+    """The paper's baseline machine (Table 2)."""
+    return MachineConfig()
+
+
+def bench_config() -> MachineConfig:
+    """The experiment machine: Table 2's shape with capacities scaled down.
+
+    The workload kernels run data sets scaled to pure-Python simulation
+    speed (tens of KB instead of tens of MB), so cache capacities are
+    scaled by the same factor: the ratios footprint/L1 and footprint/L2
+    and all latencies match the paper's setup.  The buses are widened by
+    the inverse factor of the kernels' higher miss density (scaled-down
+    kernels miss more often per instruction than the full-size Olden runs)
+    so the machine stays in the paper's latency-dominated regime instead
+    of saturating on bandwidth.  See DESIGN.md, "Substitutions".
+    """
+    return MachineConfig(
+        il1=CacheConfig(size=8 * 1024, line=32, assoc=2, latency=1),
+        dl1=CacheConfig(size=8 * 1024, line=32, assoc=2, latency=1),
+        l2=CacheConfig(size=16 * 1024, line=64, assoc=4, latency=12),
+        l2_bus=BusConfig(width=32, clock_divisor=2),
+        mem_bus=BusConfig(width=64, clock_divisor=4),
+    )
+
+
+def small_config() -> MachineConfig:
+    """A scaled-down machine for fast unit tests.
+
+    Keeps the Table-2 *shape* (two-level hierarchy, same line sizes and
+    latencies) while shrinking capacities so small test workloads still
+    exercise misses and replacements.
+    """
+    return MachineConfig(
+        il1=CacheConfig(size=4 * 1024, line=32, assoc=2, latency=1),
+        dl1=CacheConfig(size=4 * 1024, line=32, assoc=2, latency=1),
+        l2=CacheConfig(size=32 * 1024, line=64, assoc=4, latency=12),
+    )

@@ -1,0 +1,39 @@
+"""The paper's primary contribution: the jump-pointer prefetching framework.
+
+* :mod:`repro.core.idioms` — the four prefetching idioms and the three
+  implementation strategies.
+* :mod:`repro.core.jump_queue` — the software queue method for creating
+  jump-pointers, as emitted code.
+* :mod:`repro.core.characterization` — Table-1 program characterization.
+"""
+
+from .characterization import CharacterizationRow, characterize
+from .idioms import (
+    COOPERATIVE,
+    HARDWARE,
+    IMPLEMENTATIONS,
+    SOFTWARE,
+    Idiom,
+    Implementation,
+    recommended_interval,
+)
+from .jump_queue import (
+    SoftwareJumpQueue,
+    emit_cooperative_prefetch,
+    emit_software_prefetch,
+)
+
+__all__ = [
+    "COOPERATIVE",
+    "CharacterizationRow",
+    "HARDWARE",
+    "IMPLEMENTATIONS",
+    "Idiom",
+    "Implementation",
+    "SOFTWARE",
+    "SoftwareJumpQueue",
+    "characterize",
+    "emit_cooperative_prefetch",
+    "emit_software_prefetch",
+    "recommended_interval",
+]

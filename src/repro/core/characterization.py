@@ -1,0 +1,81 @@
+"""Benchmark characterization (Table 1 of the paper).
+
+For each program we measure the features the paper uses to decide whether
+JPP is *needed* and *applicable*:
+
+* the fraction of dynamic loads that are LDS (pointer-chasing) loads,
+* the L1 data-cache miss ratio and the share of misses due to LDS loads,
+* the average number of in-flight L1 misses sampled at each miss — the
+  available memory parallelism (a low value means misses serialize and
+  scheduling-based prefetching cannot help),
+* the memory fraction of execution time (the decomposition),
+
+plus the static structure description and the idiom(s) judged appropriate,
+which come from the workload's metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MachineConfig
+from ..cpu.simulator import simulate
+from ..cpu.stats import SimResult
+
+
+@dataclass(frozen=True)
+class CharacterizationRow:
+    """One row of Table 1."""
+
+    name: str
+    instructions: int
+    loads: int
+    lds_load_fraction: float
+    l1d_miss_ratio: float
+    lds_miss_fraction: float
+    miss_parallelism: float
+    memory_fraction: float
+    structure: str
+    idioms: tuple[str, ...]
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "benchmark": self.name,
+            "insts": self.instructions,
+            "loads": self.loads,
+            "%lds loads": round(100 * self.lds_load_fraction, 1),
+            "L1 miss%": round(100 * self.l1d_miss_ratio, 2),
+            "%misses lds": round(100 * self.lds_miss_fraction, 1),
+            "miss parallelism": round(self.miss_parallelism, 2),
+            "mem frac%": round(100 * self.memory_fraction, 1),
+            "structure": self.structure,
+            "idioms": "/".join(self.idioms) or "-",
+        }
+
+
+def characterize(
+    name: str,
+    program,
+    cfg: MachineConfig,
+    structure: str = "",
+    idioms: tuple[str, ...] = (),
+) -> tuple[CharacterizationRow, SimResult]:
+    """Simulate the unoptimized program and derive its Table-1 row."""
+    real = simulate(program, cfg, engine="none", collect_miss_intervals=True)
+    compute = simulate(program, cfg.perfect(), engine="none")
+    mem_frac = (
+        (real.cycles - compute.cycles) / real.cycles if real.cycles else 0.0
+    )
+    row = CharacterizationRow(
+        name=name,
+        instructions=real.instructions,
+        loads=real.loads,
+        lds_load_fraction=real.lds_load_fraction,
+        l1d_miss_ratio=real.l1d_miss_ratio,
+        lds_miss_fraction=real.lds_miss_fraction,
+        miss_parallelism=real.miss_parallelism(),
+        memory_fraction=max(0.0, mem_frac),
+        structure=structure,
+        idioms=idioms,
+    )
+    return row, real

@@ -1,0 +1,78 @@
+"""The four jump-pointer prefetching idioms (Section 2.2).
+
+An idiom is a way of combining the two building blocks — jump-pointer
+prefetches and chained prefetches — into a prefetching solution for one
+data structure:
+
+* **queue jumping** — jump-pointers at every node of a "backbone-only"
+  structure (list, tree, graph of one node type), created with the queue
+  method; the whole structure is prefetched through them.
+* **full jumping** — "backbone-and-ribs" structures; every node carries a
+  jump-pointer to the node *I* hops ahead *and* to that node's rib(s); all
+  prefetches are jump-pointer prefetches and proceed in parallel.
+* **chain jumping** — jump-pointer prefetch for the backbone, chained
+  prefetches for the ribs; half the jump-pointer storage/maintenance of
+  full jumping, but prefetches serialize (needs a longer interval).
+* **root jumping** — a single jump-pointer to the *root* of the next small
+  structure; the structure is prefetched entirely with chained prefetches.
+  Immune to structure mutation, but serial and only fit for short chains.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Idiom(enum.Enum):
+    QUEUE = "queue"
+    FULL = "full"
+    CHAIN = "chain"
+    ROOT = "root"
+
+    @property
+    def uses_jump_pointers(self) -> bool:
+        return True
+
+    @property
+    def uses_chained_prefetches(self) -> bool:
+        return self in (Idiom.CHAIN, Idiom.ROOT)
+
+    @property
+    def jump_pointers_per_node(self) -> int:
+        """Jump-pointer storage cost per backbone node (FULL pays one per
+        rib as well; ROOT pays one per *structure*, reported as 0 here)."""
+        if self is Idiom.FULL:
+            return 2
+        if self is Idiom.ROOT:
+            return 0
+        return 1
+
+
+@dataclass(frozen=True)
+class Implementation:
+    """One of the paper's three implementation strategies (Section 3)."""
+
+    name: str  # "software" | "cooperative" | "hardware"
+    jump_prefetch_in_hardware: bool
+    chained_prefetch_in_hardware: bool
+
+
+SOFTWARE = Implementation("software", False, False)
+COOPERATIVE = Implementation("cooperative", False, True)
+HARDWARE = Implementation("hardware", True, True)
+
+IMPLEMENTATIONS = {i.name: i for i in (SOFTWARE, COOPERATIVE, HARDWARE)}
+
+
+def recommended_interval(
+    work_per_node: int, node_latency: int, serial_hops: int = 1
+) -> int:
+    """The interval rule of Section 2.1/2.2: the jump distance should cover
+    the target access latency; chain jumping incurs its latencies in
+    series, so the interval scales with the number of serial hops."""
+    if work_per_node <= 0:
+        raise ValueError("work_per_node must be positive")
+    import math
+
+    return max(1, math.ceil(node_latency * serial_hops / work_per_node))

@@ -1,0 +1,18 @@
+"""Out-of-order core timing model and simulation entry points."""
+
+from .branch_pred import BranchPredictor, BranchStats
+from .simulator import Decomposition, make_engine, simulate, simulate_decomposed
+from .stats import SimResult
+from .timing import TimingModel, heap_range
+
+__all__ = [
+    "BranchPredictor",
+    "BranchStats",
+    "Decomposition",
+    "SimResult",
+    "TimingModel",
+    "heap_range",
+    "make_engine",
+    "simulate",
+    "simulate_decomposed",
+]

@@ -1,0 +1,148 @@
+"""Combined branch predictor: gshare + bimodal with a meta chooser, a
+set-associative BTB and a return-address stack (Table 2's front end)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import BranchPredConfig
+
+
+@dataclass
+class BranchStats:
+    cond_branches: int = 0
+    cond_mispredicts: int = 0
+    btb_misses: int = 0
+    returns: int = 0
+    return_mispredicts: int = 0
+
+    @property
+    def mispredict_ratio(self) -> float:
+        if not self.cond_branches:
+            return 0.0
+        return self.cond_mispredicts / self.cond_branches
+
+
+class _CounterTable:
+    """Array of saturating 2-bit counters, initialized weakly taken."""
+
+    __slots__ = ("_table", "_mask")
+
+    def __init__(self, entries: int) -> None:
+        self._table = [2] * entries
+        self._mask = entries - 1
+
+    def lookup(self, index: int) -> bool:
+        return self._table[index & self._mask] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        i = index & self._mask
+        c = self._table[i]
+        if taken:
+            if c < 3:
+                self._table[i] = c + 1
+        elif c > 0:
+            self._table[i] = c - 1
+
+
+class BranchPredictor:
+    """See module docstring.
+
+    The timing model calls :meth:`predict_cond` /(jump/return variants) at
+    fetch time with the *actual* outcome; the predictor returns whether its
+    prediction was correct and trains itself, so prediction accuracy is
+    modelled without simulating wrong-path instructions.
+    """
+
+    def __init__(self, cfg: BranchPredConfig) -> None:
+        self.cfg = cfg
+        self.stats = BranchStats()
+        self._bimodal = _CounterTable(cfg.bimodal_entries)
+        self._gshare = _CounterTable(cfg.gshare_entries)
+        self._meta = _CounterTable(cfg.meta_entries)
+        self._history = 0
+        self._history_mask = (1 << cfg.history_bits) - 1
+        self._btb: dict[int, dict[int, tuple[int, int]]] = {}
+        self._btb_sets = cfg.btb_entries // cfg.btb_assoc
+        self._btb_seq = 0
+        self._ras: list[int] = []
+
+    # ------------------------------------------------------------------
+    # BTB
+    # ------------------------------------------------------------------
+
+    def _btb_lookup(self, pc: int) -> int | None:
+        s = self._btb.get(pc % self._btb_sets)
+        if s and pc in s:
+            target, __ = s[pc]
+            self._btb_seq += 1
+            s[pc] = (target, self._btb_seq)
+            return target
+        return None
+
+    def _btb_insert(self, pc: int, target: int) -> None:
+        idx = pc % self._btb_sets
+        s = self._btb.setdefault(idx, {})
+        self._btb_seq += 1
+        if pc not in s and len(s) >= self.cfg.btb_assoc:
+            victim = min(s, key=lambda k: s[k][1])
+            del s[victim]
+        s[pc] = (target, self._btb_seq)
+
+    # ------------------------------------------------------------------
+    # Prediction interfaces (predict + train in one call)
+    # ------------------------------------------------------------------
+
+    def predict_cond(self, pc: int, taken: bool, target: int) -> tuple[bool, bool]:
+        """Predict a conditional branch; returns (direction_correct,
+        target_known).  ``target_known`` is only meaningful when the branch
+        is predicted taken."""
+        st = self.stats
+        st.cond_branches += 1
+        gidx = pc ^ (self._history << 2)
+        bim = self._bimodal.lookup(pc)
+        gsh = self._gshare.lookup(gidx)
+        use_gshare = self._meta.lookup(pc)
+        prediction = gsh if use_gshare else bim
+        # Train meta toward the component that was right.
+        if gsh != bim:
+            self._meta.update(pc, gsh == taken)
+        self._bimodal.update(pc, taken)
+        self._gshare.update(gidx, taken)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+        correct = prediction == taken
+        if not correct:
+            st.cond_mispredicts += 1
+        target_known = True
+        if taken:
+            btb_target = self._btb_lookup(pc)
+            target_known = btb_target == target
+            if not target_known:
+                st.btb_misses += 1
+            self._btb_insert(pc, target)
+        return correct, target_known
+
+    def predict_jump(self, pc: int, target: int) -> bool:
+        """Direct jump/call: returns True if the BTB knew the target."""
+        btb_target = self._btb_lookup(pc)
+        known = btb_target == target
+        if not known:
+            self.stats.btb_misses += 1
+        self._btb_insert(pc, target)
+        return known
+
+    def on_call(self, return_pc: int) -> None:
+        """Push the return address at a JAL."""
+        if len(self._ras) >= self.cfg.ras_entries:
+            del self._ras[0]
+        self._ras.append(return_pc)
+
+    def predict_return(self, target: int) -> bool:
+        """Indirect jump through RA: returns True if the RAS was right."""
+        self.stats.returns += 1
+        predicted = self._ras.pop() if self._ras else None
+        correct = predicted == target
+        if not correct:
+            self.stats.return_mispredicts += 1
+        return correct

@@ -1,0 +1,80 @@
+"""Top-level simulation entry points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MachineConfig
+from ..errors import ConfigError
+from ..isa.program import Program
+from ..prefetch.base import PrefetchEngine
+from ..prefetch.engines import ENGINE_CLASSES
+from .stats import SimResult
+from .timing import TimingModel
+
+
+def make_engine(name: str, cfg: MachineConfig) -> PrefetchEngine:
+    """Instantiate a prefetch engine by name:
+    ``none``, ``software``, ``dbp``, ``cooperative`` or ``hardware``."""
+    try:
+        cls = ENGINE_CLASSES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown prefetch engine {name!r}; choose from {sorted(ENGINE_CLASSES)}"
+        ) from None
+    return cls(cfg.prefetch)
+
+
+def simulate(
+    program: Program,
+    cfg: MachineConfig | None = None,
+    engine: str | PrefetchEngine = "none",
+    collect_miss_intervals: bool = False,
+    max_steps: int | None = None,
+) -> SimResult:
+    """Run ``program`` on the simulated machine; returns a
+    :class:`~repro.cpu.stats.SimResult`."""
+    cfg = cfg or MachineConfig()
+    if isinstance(engine, str):
+        engine = make_engine(engine, cfg)
+    model = TimingModel(
+        program,
+        cfg,
+        engine,
+        collect_miss_intervals=collect_miss_intervals,
+        max_steps=max_steps,
+    )
+    return model.run()
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """The paper's execution-time decomposition (Section 4 preamble).
+
+    ``compute`` is a second simulation with uniform single-cycle data
+    memory; ``memory`` is the remainder of the realistic run's time.
+    """
+
+    total: int
+    compute: int
+
+    @property
+    def memory(self) -> int:
+        return max(0, self.total - self.compute)
+
+    @property
+    def memory_fraction(self) -> float:
+        return self.memory / self.total if self.total else 0.0
+
+
+def simulate_decomposed(
+    program: Program,
+    cfg: MachineConfig | None = None,
+    engine: str = "none",
+    max_steps: int | None = None,
+) -> tuple[SimResult, Decomposition]:
+    """Realistic + compute-time pair of simulations for one configuration."""
+    cfg = cfg or MachineConfig()
+    real = simulate(program, cfg, engine=engine, max_steps=max_steps)
+    compute = simulate(program, cfg.perfect(), engine="none", max_steps=max_steps)
+    return real, Decomposition(total=real.cycles, compute=compute.cycles)

@@ -1,0 +1,75 @@
+"""Simulation results and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mem.hierarchy import HierarchyStats
+from ..prefetch.base import EngineStats
+from .branch_pred import BranchStats
+
+
+@dataclass
+class SimResult:
+    """Outcome of one timing simulation."""
+
+    cycles: int
+    instructions: int
+    loads: int
+    stores: int
+    lds_loads: int
+    branch: BranchStats
+    hierarchy: HierarchyStats
+    engine: EngineStats
+    l1d_accesses: int
+    l1d_misses: int
+    l2_accesses: int
+    l2_misses: int
+    dtlb_misses: int
+    engine_name: str = "none"
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1d_miss_ratio(self) -> float:
+        return self.l1d_misses / self.l1d_accesses if self.l1d_accesses else 0.0
+
+    @property
+    def lds_load_fraction(self) -> float:
+        """Fraction of dynamic loads that traverse linked data structures."""
+        return self.lds_loads / self.loads if self.loads else 0.0
+
+    @property
+    def lds_miss_fraction(self) -> float:
+        """Fraction of L1 data-load misses caused by LDS loads (Table 1)."""
+        h = self.hierarchy
+        return h.lds_load_misses / h.load_misses if h.load_misses else 0.0
+
+    @property
+    def bytes_l1_l2_per_inst(self) -> float:
+        """Figure 6's metric (caller normalizes by *baseline* instructions)."""
+        return self.hierarchy.bytes_l1_l2 / self.instructions if self.instructions else 0.0
+
+    def miss_parallelism(self) -> float:
+        """Average number of in-flight L1 data misses, sampled at each miss
+        (Table 1's parallelism metric).  Requires the simulation to have
+        been run with ``collect_miss_intervals=True``."""
+        intervals = self.hierarchy.miss_intervals
+        if not intervals:
+            return 0.0
+        starts = sorted(s for s, __ in intervals)
+        ends = sorted(e for __, e in intervals)
+        total = 0
+        for s, __ in intervals:
+            # misses started at or before s minus misses already done at s
+            total += _count_le(starts, s) - _count_le(ends, s)
+        return total / len(intervals)
+
+
+def _count_le(sorted_values: list[int], x: int) -> int:
+    import bisect
+
+    return bisect.bisect_right(sorted_values, x)

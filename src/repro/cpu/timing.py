@@ -1,0 +1,393 @@
+"""Out-of-order core timing model.
+
+A dataflow-with-resources model of the paper's Table-2 machine: each
+committed instruction's fetch, dispatch, issue, completion and commit times
+are computed in program order, constrained by
+
+* fetch width and instruction-cache line fetches (with ITLB),
+* the 64-entry instruction window (dispatch stalls when the instruction
+  ``window`` ago has not committed) and the 32-entry load/store queue,
+* true register dependences (last-writer completion times),
+* issue width and the Table-2 functional unit pool (unpipelined divides),
+* two cache ports; loads wait for all previous store addresses and forward
+  from in-flight stores with a 1-cycle bypass,
+* the memory hierarchy of :mod:`repro.mem.hierarchy` (MSHRs, buses, TLBs),
+* branch mispredictions: fetch redirects at branch resolution plus a
+  front-end refill penalty; BTB misses on taken branches and RAS misses on
+  returns cost a decode-stage redirect.
+
+Wrong-path instructions are not simulated (their fetch slots are subsumed
+by the redirect penalty); see DESIGN.md for the substitution note.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..config import MachineConfig
+from ..isa.instruction import Instruction
+from ..isa.interpreter import Interpreter
+from ..isa.opcodes import FU_CLASS, FuClass, Op
+from ..isa.program import Program
+from ..isa.registers import NUM_REGS
+from ..mem.allocator import CLASS_REGION, MIN_CLASS, MAX_CLASS
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.memory_image import MemoryImage
+from ..prefetch.base import PrefetchEngine
+from .branch_pred import BranchPredictor
+from .stats import SimResult
+
+_DISPATCH_EXTRA = 1  # cycles from dispatch to earliest issue
+
+
+def heap_range(heap_base: int) -> tuple[int, int]:
+    """Address range the size-class allocator can hand out."""
+    classes = 0
+    c = MIN_CLASS
+    while c <= MAX_CLASS:
+        classes += 1
+        c <<= 1
+    return heap_base, heap_base + classes * CLASS_REGION
+
+
+class TimingModel:
+    """Runs one program to completion under one machine + engine."""
+
+    def __init__(
+        self,
+        program: Program,
+        cfg: MachineConfig,
+        engine: PrefetchEngine | None = None,
+        collect_miss_intervals: bool = False,
+        max_steps: int | None = None,
+        attribute_stalls: bool = False,
+    ) -> None:
+        self.attribute_stalls = attribute_stalls
+        self.stall_attribution: dict[tuple[str, str | None], int] = {}
+        self.program = program
+        self.cfg = cfg
+        self.engine = engine or PrefetchEngine()
+        self.hierarchy = MemoryHierarchy(
+            cfg,
+            use_prefetch_buffer=self.engine.uses_prefetch_buffer,
+            collect_miss_intervals=collect_miss_intervals,
+        )
+        self.timing_mem = MemoryImage(program.initial_memory)
+        lo, hi = heap_range(program.heap_base)
+        self.engine.attach(self.hierarchy, self.timing_mem, lo, hi, cfg)
+        self.bpred = BranchPredictor(cfg.branch_pred)
+        self._max_steps = max_steps
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        cfg = self.cfg
+        engine = self.engine
+        hierarchy = self.hierarchy
+        timing_mem_store = self.timing_mem.store
+        bpred = self.bpred
+        fu_cfg = cfg.func_units
+
+        interp = (
+            Interpreter(self.program, max_steps=self._max_steps)
+            if self._max_steps
+            else Interpreter(self.program)
+        )
+
+        # Register scoreboard and (optional) load provenance.
+        reg_ready = [0] * NUM_REGS
+        track_dataflow = engine.needs_dataflow
+        src_pc: list[int | None] = [None] * NUM_REGS
+        src_val: list[int | float | None] = [None] * NUM_REGS
+        issue_hook = engine.needs_issue_hook
+
+        # Window / LSQ occupancy (commit times of in-flight instructions).
+        rob: deque[int] = deque()
+        lsq: deque[int] = deque()
+        window = cfg.window
+        lsq_entries = cfg.lsq_entries
+
+        # Fetch state.
+        fetch_cycle = 0
+        fetch_count = 0
+        fetch_width = cfg.fetch_width
+        redirect_floor = 0
+        cur_line = -1
+        line_ready = 0
+        iline_mask = ~(cfg.il1.line - 1)
+        front = cfg.front_pipeline_depth
+
+        # Issue bandwidth and functional units.
+        issue_width = cfg.issue_width
+        issued_at: dict[int, int] = {}
+        fu_free: dict[int, list[int]] = {
+            FuClass.INT_ALU: [0] * fu_cfg.int_alu,
+            FuClass.INT_MUL: [0] * fu_cfg.int_mul,
+            FuClass.INT_DIV: [0] * fu_cfg.int_div,
+            FuClass.FP_ADD: [0] * fu_cfg.fp_add,
+            FuClass.FP_MUL: [0] * fu_cfg.fp_mul,
+            FuClass.FP_DIV: [0] * fu_cfg.fp_div,
+            FuClass.MEM_PORT: [0] * fu_cfg.mem_ports,
+        }
+        fu_latency = {
+            FuClass.INT_ALU: fu_cfg.int_alu_latency,
+            FuClass.INT_MUL: fu_cfg.int_mul_latency,
+            FuClass.INT_DIV: fu_cfg.int_div_latency,
+            FuClass.FP_ADD: fu_cfg.fp_add_latency,
+            FuClass.FP_MUL: fu_cfg.fp_mul_latency,
+            FuClass.FP_DIV: fu_cfg.fp_div_latency,
+            FuClass.MEM_PORT: fu_cfg.mem_port_latency,
+        }
+        unpipelined = (FuClass.INT_DIV, FuClass.FP_DIV)
+
+        # Store tracking for LSQ semantics.
+        store_addr_floor = 0  # prefix max of store address-ready times
+        pending_stores: dict[int, tuple[int, int]] = {}  # addr -> (data_ready, commit)
+
+        # Commit state.
+        last_commit = 0
+        commit_cycle = 0
+        commit_count = 0
+        commit_width = cfg.commit_width
+
+        mispredict_penalty = cfg.branch_pred.misprediction_penalty
+        perfect = cfg.perfect_data_memory
+
+        n_committed = 0
+        n_loads = 0
+        n_stores = 0
+        n_lds_loads = 0
+        text_base = 0x0040_0000
+
+        _LW, _SW, _PF, _JPF = Op.LW, Op.SW, Op.PF, Op.JPF
+        _ADD, _ADDI, _ALLOC, _HALT = Op.ADD, Op.ADDI, Op.ALLOC, Op.HALT
+        _J, _JAL, _JR = Op.J, Op.JAL, Op.JR
+
+        for inst, addr, value, taken in interp.run():
+            op = inst.op
+
+            # ---------------- fetch ----------------
+            pc_addr = text_base + 4 * inst.index
+            line = pc_addr & iline_mask
+            t = fetch_cycle
+            if redirect_floor > t:
+                t = redirect_floor
+            if line != cur_line:
+                cur_line = line
+                line_ready = hierarchy.inst_fetch(line, t) - cfg.il1.latency
+            if line_ready > t:
+                t = line_ready
+            if t > fetch_cycle:
+                fetch_cycle = t
+                fetch_count = 1
+            else:
+                fetch_count += 1
+                if fetch_count > fetch_width:
+                    fetch_cycle += 1
+                    fetch_count = 1
+                    t = fetch_cycle
+                    if line_ready > t:  # pragma: no cover - defensive
+                        t = line_ready
+
+            fetch_time = t
+
+            # ---------------- dispatch ----------------
+            dispatch = fetch_time + front
+            if len(rob) >= window:
+                head = rob.popleft()
+                if head > dispatch:
+                    dispatch = head
+            is_mem = op is _LW or op is _SW or op is _PF or op is _JPF
+            if is_mem and len(lsq) >= lsq_entries:
+                head = lsq.popleft()
+                if head > dispatch:
+                    dispatch = head
+
+            # ---------------- operand readiness ----------------
+            ready = dispatch + _DISPATCH_EXTRA
+            r = reg_ready[inst.rs1]
+            if r > ready:
+                ready = r
+            if (
+                op is not _ADDI
+                and op is not _LW
+                and op is not _PF
+                and op is not _JPF
+                and op is not _SW
+            ):
+                r = reg_ready[inst.rs2]
+                if r > ready:
+                    ready = r
+            # A store's address generation does not wait for its data; the
+            # data register is folded in at completion below.
+
+            # ---------------- issue (width + FU) ----------------
+            fu = FU_CLASS[op]
+            if fu is not FuClass.NONE:
+                frees = fu_free[fu]
+                best = 0
+                best_t = frees[0]
+                for k in range(1, len(frees)):
+                    if frees[k] < best_t:
+                        best_t = frees[k]
+                        best = k
+                if best_t > ready:
+                    ready = best_t
+                while issued_at.get(ready, 0) >= issue_width:
+                    ready += 1
+                issued_at[ready] = issued_at.get(ready, 0) + 1
+                frees[best] = ready + (
+                    fu_latency[fu] if fu in unpipelined else 1
+                )
+            issue = ready
+
+            # ---------------- execute ----------------
+            if op is _LW:
+                n_loads += 1
+                lds = inst.tag == "lds"
+                if lds:
+                    n_lds_loads += 1
+                start = issue
+                if store_addr_floor > start:
+                    start = store_addr_floor
+                if issue_hook:
+                    engine.on_load_issue(inst, addr, start)
+                fwd = pending_stores.get(addr)
+                if fwd is not None and fwd[1] > start:
+                    complete = max(start, fwd[0]) + 1
+                else:
+                    complete = hierarchy.data_access(addr, start, write=False, lds=lds)
+            elif op is _SW:
+                n_stores += 1
+                # Address is known at issue (AGU); later loads wait only for
+                # the address, not the data.
+                if issue > store_addr_floor:
+                    store_addr_floor = issue
+                data_ready = reg_ready[inst.rs2]
+                complete = (data_ready if data_ready > issue else issue) + 1
+            elif op is _PF or op is _JPF:
+                engine.on_sw_prefetch(inst, addr, issue)
+                complete = issue + 1
+            elif op is _ALLOC:
+                complete = issue + cfg.alloc_latency
+            elif op is _HALT:
+                complete = dispatch
+            elif fu is FuClass.NONE:
+                complete = issue + 1
+            else:
+                complete = issue + fu_latency[fu]
+
+            # ---------------- control resolution ----------------
+            if inst.target is not None or op is _JR:
+                if op is _J:
+                    if not bpred.predict_jump(inst.index, inst.target):
+                        df = fetch_time + front
+                        if df > redirect_floor:
+                            redirect_floor = df
+                elif op is _JAL:
+                    known = bpred.predict_jump(inst.index, inst.target)
+                    bpred.on_call(inst.index + 1)
+                    if not known:
+                        df = fetch_time + front
+                        if df > redirect_floor:
+                            redirect_floor = df
+                elif op is _JR:
+                    if not bpred.predict_return(value):
+                        rf = complete + mispredict_penalty
+                        if rf > redirect_floor:
+                            redirect_floor = rf
+                else:  # conditional branch
+                    dir_ok, tgt_ok = bpred.predict_cond(inst.index, taken, inst.target)
+                    if not dir_ok:
+                        rf = complete + mispredict_penalty
+                        if rf > redirect_floor:
+                            redirect_floor = rf
+                    elif taken and not tgt_ok:
+                        df = fetch_time + front
+                        if df > redirect_floor:
+                            redirect_floor = df
+
+            # ---------------- commit (in order, width-limited) ----------------
+            prev_commit = last_commit
+            ct = complete if complete > last_commit else last_commit
+            if ct > commit_cycle:
+                commit_cycle = ct
+                commit_count = 1
+            else:
+                commit_count += 1
+                if commit_count > commit_width:
+                    commit_cycle += 1
+                    commit_count = 1
+                ct = commit_cycle
+            last_commit = ct
+            rob.append(ct)
+            if is_mem:
+                lsq.append(ct)
+            if self.attribute_stalls:
+                delta = ct - prev_commit
+                if delta:
+                    key = (op.name, inst.tag)
+                    attr = self.stall_attribution
+                    attr[key] = attr.get(key, 0) + delta
+
+            # ---------------- post-commit effects ----------------
+            rd = inst.rd
+            if op is _SW:
+                timing_mem_store(addr, value)
+                pending_stores[addr] = (complete, ct)
+                if len(pending_stores) > 8192:
+                    pending_stores = {
+                        a: v for a, v in pending_stores.items() if v[1] > ct
+                    }
+                hierarchy.data_access(addr, ct, write=True)
+            elif op is _LW:
+                if track_dataflow:
+                    # The engine reacts when the value arrives (completion);
+                    # DBP launches chained prefetches off completed loads.
+                    engine.on_load_commit(
+                        inst, addr, value, complete, src_pc[inst.rs1], src_val[inst.rs1]
+                    )
+                    src_pc[rd] = inst.index
+                    src_val[rd] = value
+                reg_ready[rd] = complete
+            elif rd and fu is not FuClass.NONE and op is not _PF and op is not _JPF:
+                reg_ready[rd] = complete
+                if track_dataflow:
+                    if op is _ADDI:
+                        src_pc[rd] = src_pc[inst.rs1]
+                        src_val[rd] = src_val[inst.rs1]
+                    elif op is _ADD:
+                        if src_pc[inst.rs1] is not None:
+                            src_pc[rd] = src_pc[inst.rs1]
+                            src_val[rd] = src_val[inst.rs1]
+                        else:
+                            src_pc[rd] = src_pc[inst.rs2]
+                            src_val[rd] = src_val[inst.rs2]
+                    else:
+                        src_pc[rd] = None
+                        src_val[rd] = None
+
+            n_committed += 1
+            if not n_committed % 65536 and len(issued_at) > 200_000:
+                floor = dispatch - 4 * window
+                issued_at = {c: k for c, k in issued_at.items() if c >= floor}
+
+        # ------------------------------------------------------------------
+        cycles = last_commit
+        h = hierarchy
+        return SimResult(
+            cycles=cycles,
+            instructions=n_committed,
+            loads=n_loads,
+            stores=n_stores,
+            lds_loads=n_lds_loads,
+            branch=bpred.stats,
+            hierarchy=h.stats,
+            engine=engine.stats,
+            l1d_accesses=h.dl1.stats.accesses,
+            l1d_misses=h.dl1.stats.misses,
+            l2_accesses=h.l2.stats.accesses,
+            l2_misses=h.l2.stats.misses,
+            dtlb_misses=h.dtlb.stats.misses,
+            engine_name=engine.name,
+        )

@@ -1,0 +1,45 @@
+"""Experiment harness: scheme runner, per-figure experiments, reporting."""
+
+from .analysis import StallLine, StallReport, stall_report
+from .experiments import (
+    FIGURE4_SUBJECTS,
+    MEMORY_BOUND,
+    creation_overhead,
+    figure4,
+    figure5,
+    figure5_summary,
+    figure6,
+    figure7,
+    onchip_table_ablation,
+    small_params,
+    table1,
+    traversal_count_sweep,
+)
+from .reporting import format_table, normalized_bar, print_rows
+from .runner import SCHEMES, BenchmarkRunner, SchemeRun, run_scheme, scheme_plan
+
+__all__ = [
+    "BenchmarkRunner",
+    "StallLine",
+    "StallReport",
+    "stall_report",
+    "FIGURE4_SUBJECTS",
+    "MEMORY_BOUND",
+    "SCHEMES",
+    "SchemeRun",
+    "creation_overhead",
+    "figure4",
+    "figure5",
+    "figure5_summary",
+    "figure6",
+    "figure7",
+    "format_table",
+    "normalized_bar",
+    "onchip_table_ablation",
+    "print_rows",
+    "run_scheme",
+    "scheme_plan",
+    "small_params",
+    "table1",
+    "traversal_count_sweep",
+]

@@ -1,0 +1,81 @@
+"""Bottleneck analysis: where do the cycles go?
+
+Wraps the timing model's commit-stall attribution into a report: each
+committed instruction is charged the cycles by which it advanced the
+in-order commit front, so the table sums exactly to total execution time.
+This is the tool used throughout calibration to find what serializes a
+kernel (see DESIGN.md §5) and is exposed for users doing the same with
+their own programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MachineConfig, bench_config
+from ..cpu.simulator import make_engine
+from ..cpu.timing import TimingModel
+from ..isa.program import Program
+
+
+@dataclass(frozen=True)
+class StallLine:
+    """One row of the stall report."""
+
+    op: str
+    tag: str | None
+    cycles: int
+    share: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.op}[{self.tag}]" if self.tag else self.op
+
+
+@dataclass
+class StallReport:
+    total_cycles: int
+    lines: list[StallLine]
+
+    def top(self, n: int = 10) -> list[StallLine]:
+        return self.lines[:n]
+
+    def share_of(self, op: str, tag: str | None = None) -> float:
+        """Combined share of all lines matching ``op`` (and ``tag``)."""
+        return sum(
+            line.share
+            for line in self.lines
+            if line.op == op and (tag is None or line.tag == tag)
+        )
+
+    def format(self, n: int = 10) -> str:
+        width = max((len(line.label) for line in self.top(n)), default=8)
+        rows = [f"{'where':<{width}}  {'cycles':>10}  share"]
+        for line in self.top(n):
+            rows.append(
+                f"{line.label:<{width}}  {line.cycles:>10}  {line.share:6.1%}"
+            )
+        return "\n".join(rows)
+
+
+def stall_report(
+    program: Program,
+    cfg: MachineConfig | None = None,
+    engine: str = "none",
+) -> StallReport:
+    """Run ``program`` once and attribute every cycle of execution time to
+    the instruction class that was blocking commit."""
+    cfg = cfg or bench_config()
+    model = TimingModel(
+        program, cfg, make_engine(engine, cfg), attribute_stalls=True
+    )
+    result = model.run()
+    total = max(1, result.cycles)
+    lines = sorted(
+        (
+            StallLine(op=op, tag=tag, cycles=cycles, share=cycles / total)
+            for (op, tag), cycles in model.stall_attribution.items()
+        ),
+        key=lambda line: -line.cycles,
+    )
+    return StallReport(total_cycles=result.cycles, lines=lines)

@@ -1,0 +1,148 @@
+"""Runs workloads under the paper's five configurations.
+
+The run matrix (Section 4.2, Figure 5):
+
+==============  =================  =============  =========================
+scheme          program variant    engine         notes
+==============  =================  =============  =========================
+``base``        baseline           none           the unoptimized execution
+``software``    ``sw:<idiom>``     software       explicit prefetch code
+``cooperative`` ``coop:<idiom>``   cooperative    JPF + dependence hardware
+``hardware``    baseline           hardware       DBP + JQT/JPR
+``dbp``         baseline           dbp            comparison point [16]
+==============  =================  =============  =========================
+
+Each run is decomposed into compute and memory time with a second
+simulation using single-cycle data memory (the paper's methodology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..config import MachineConfig, bench_config
+from ..cpu.simulator import simulate
+from ..cpu.stats import SimResult
+from ..errors import WorkloadError
+from ..workloads import Workload, get_workload
+
+SCHEMES = ("base", "software", "cooperative", "hardware", "dbp")
+
+
+@dataclass
+class SchemeRun:
+    """One benchmark under one scheme, with the time decomposition."""
+
+    benchmark: str
+    scheme: str
+    variant: str
+    total: int
+    compute: int
+    result: SimResult
+
+    @property
+    def memory(self) -> int:
+        return max(0, self.total - self.compute)
+
+    def normalized(self, baseline_total: int) -> float:
+        return self.total / baseline_total if baseline_total else 0.0
+
+    def memory_reduction(self, baseline_memory: int) -> float:
+        """Fraction of the baseline's memory stall time eliminated."""
+        if not baseline_memory:
+            return 0.0
+        return 1.0 - self.memory / baseline_memory
+
+
+def scheme_plan(workload: Workload, scheme: str, idiom: str | None = None) -> tuple[str, str]:
+    """Maps a scheme to (program variant, engine name)."""
+    if scheme == "base":
+        return "baseline", "none"
+    if scheme == "hardware":
+        return "baseline", "hardware"
+    if scheme == "dbp":
+        return "baseline", "dbp"
+    if scheme in ("software", "cooperative"):
+        prefix = "sw:" if scheme == "software" else "coop:"
+        if idiom is not None:
+            variant = prefix + idiom
+            if variant not in workload.variants:
+                raise WorkloadError(
+                    f"{workload.name}: no variant {variant!r}; "
+                    f"available: {workload.variants}"
+                )
+        else:
+            variant = workload.best_variant(scheme)
+            if variant is None:
+                raise WorkloadError(
+                    f"{workload.name} has no {scheme} variant"
+                )
+        return variant, "software" if scheme == "software" else "cooperative"
+    raise WorkloadError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
+
+
+class BenchmarkRunner:
+    """Runs one workload's scheme matrix, caching compute-time runs per
+    program variant (base/hardware/dbp share the baseline's)."""
+
+    def __init__(
+        self,
+        name: str,
+        cfg: MachineConfig | None = None,
+        params: dict[str, Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.cfg = cfg or bench_config()
+        self.workload = get_workload(name, **(params or {}))
+        self._compute_cache: dict[str, int] = {}
+        self._built: dict[str, Any] = {}
+
+    def _program(self, variant: str):
+        if variant not in self._built:
+            self._built[variant] = self.workload.build(variant)
+        return self._built[variant].program
+
+    def _compute_time(self, variant: str) -> int:
+        if variant not in self._compute_cache:
+            res = simulate(self._program(variant), self.cfg.perfect(), engine="none")
+            self._compute_cache[variant] = res.cycles
+        return self._compute_cache[variant]
+
+    def run(self, scheme: str, idiom: str | None = None) -> SchemeRun:
+        variant, engine = scheme_plan(self.workload, scheme, idiom)
+        result = simulate(self._program(variant), self.cfg, engine=engine)
+        return SchemeRun(
+            benchmark=self.name,
+            scheme=scheme,
+            variant=variant,
+            total=result.cycles,
+            compute=self._compute_time(variant),
+            result=result,
+        )
+
+    def run_variant(self, variant: str, engine: str) -> SchemeRun:
+        """Arbitrary variant/engine pairing (Figure 4 idiom comparison)."""
+        result = simulate(self._program(variant), self.cfg, engine=engine)
+        return SchemeRun(
+            benchmark=self.name,
+            scheme=f"{engine}:{variant}",
+            variant=variant,
+            total=result.cycles,
+            compute=self._compute_time(variant),
+            result=result,
+        )
+
+    def run_matrix(self, schemes: tuple[str, ...] = SCHEMES) -> dict[str, SchemeRun]:
+        return {scheme: self.run(scheme) for scheme in schemes}
+
+
+def run_scheme(
+    name: str,
+    scheme: str,
+    cfg: MachineConfig | None = None,
+    idiom: str | None = None,
+    params: dict[str, Any] | None = None,
+) -> SchemeRun:
+    """One-shot convenience wrapper around :class:`BenchmarkRunner`."""
+    return BenchmarkRunner(name, cfg, params).run(scheme, idiom)

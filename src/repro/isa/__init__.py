@@ -1,0 +1,26 @@
+"""Mini-ISA: opcodes, assembler DSL, programs and functional interpreter."""
+
+from .assembler import Assembler
+from .instruction import TEXT_BASE, WORD, Instruction
+from .interpreter import DynRecord, Interpreter, run_to_completion
+from .opcodes import FU_CLASS, FuClass, Op
+from .program import DATA_BASE, HEAP_BASE, STACK_TOP, Program
+from . import registers
+
+__all__ = [
+    "Assembler",
+    "DATA_BASE",
+    "DynRecord",
+    "FU_CLASS",
+    "FuClass",
+    "HEAP_BASE",
+    "Instruction",
+    "Interpreter",
+    "Op",
+    "Program",
+    "STACK_TOP",
+    "TEXT_BASE",
+    "WORD",
+    "registers",
+    "run_to_completion",
+]

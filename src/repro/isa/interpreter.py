@@ -1,0 +1,230 @@
+"""Functional interpreter for the mini-ISA.
+
+Executes a :class:`~repro.isa.program.Program` and lazily yields the
+committed dynamic instruction stream that the timing model consumes.  Each
+yielded record is a tuple ``(inst, addr, value, taken)``:
+
+* ``inst``  — the static :class:`~repro.isa.instruction.Instruction`
+* ``addr``  — effective address for memory ops (else 0)
+* ``value`` — loaded value / stored value / ALLOC result / JR target index
+* ``taken`` — branch outcome (True for taken and all jumps)
+
+The interpreter is deterministic, so a trace can be regenerated for the
+second (compute-time) simulation of the paper's decomposition.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from ..errors import ExecutionError
+from ..mem.allocator import SizeClassAllocator
+from ..mem.memory_image import MemoryImage
+from .instruction import Instruction
+from .opcodes import Op
+from .program import Program
+from .registers import NUM_REGS, SP
+
+DynRecord = tuple[Instruction, int, int | float, bool]
+
+_DEFAULT_MAX_STEPS = 200_000_000
+
+
+class Interpreter:
+    """See module docstring."""
+
+    def __init__(self, program: Program, max_steps: int = _DEFAULT_MAX_STEPS) -> None:
+        self.program = program
+        self.max_steps = max_steps
+        self.memory = MemoryImage(program.initial_memory)
+        self.allocator = SizeClassAllocator(program.heap_base)
+        self.registers: list[int | float] = [0] * NUM_REGS
+        self.registers[SP] = program.stack_top
+        self.steps = 0
+        self.finished = False
+
+    def run(self) -> Iterator[DynRecord]:
+        """Execute until HALT, yielding the committed instruction stream."""
+        regs = self.registers
+        mem = self.memory._words  # hot path: direct dict access
+        insts = self.program.instructions
+        n = len(insts)
+        pc = self.program.entry
+        steps = 0
+        max_steps = self.max_steps
+
+        while True:
+            if not 0 <= pc < n:
+                raise ExecutionError(f"pc {pc} outside text segment (0..{n - 1})")
+            if steps >= max_steps:
+                raise ExecutionError(
+                    f"instruction budget exceeded ({max_steps}); likely an "
+                    f"infinite loop at pc {pc}"
+                )
+            inst = insts[pc]
+            op = inst.op
+            steps += 1
+            next_pc = pc + 1
+            addr = 0
+            value: int | float = 0
+            taken = False
+
+            if op == Op.LW:
+                addr = regs[inst.rs1] + inst.imm
+                if addr % 4 or addr < 0:
+                    raise ExecutionError(
+                        f"pc {pc}: misaligned/negative load address {addr:#x}"
+                    )
+                value = mem.get(addr, 0)
+                regs[inst.rd] = value
+                if inst.rd == 0:
+                    regs[0] = 0
+            elif op == Op.SW:
+                addr = regs[inst.rs1] + inst.imm
+                if addr % 4 or addr < 0:
+                    raise ExecutionError(
+                        f"pc {pc}: misaligned/negative store address {addr:#x}"
+                    )
+                value = regs[inst.rs2]
+                mem[addr] = value
+            elif op == Op.ADDI:
+                regs[inst.rd] = regs[inst.rs1] + inst.imm
+                if inst.rd == 0:
+                    regs[0] = 0
+            elif op == Op.ADD:
+                regs[inst.rd] = regs[inst.rs1] + regs[inst.rs2]
+                if inst.rd == 0:
+                    regs[0] = 0
+            elif op == Op.BNE:
+                taken = regs[inst.rs1] != regs[inst.rs2]
+                if taken:
+                    next_pc = inst.target
+            elif op == Op.BEQ:
+                taken = regs[inst.rs1] == regs[inst.rs2]
+                if taken:
+                    next_pc = inst.target
+            elif op == Op.BLT:
+                taken = regs[inst.rs1] < regs[inst.rs2]
+                if taken:
+                    next_pc = inst.target
+            elif op == Op.BGE:
+                taken = regs[inst.rs1] >= regs[inst.rs2]
+                if taken:
+                    next_pc = inst.target
+            elif op == Op.J:
+                taken = True
+                next_pc = inst.target
+            elif op == Op.JAL:
+                taken = True
+                regs[inst.rd] = pc + 1
+                next_pc = inst.target
+                value = next_pc
+            elif op == Op.JR:
+                taken = True
+                next_pc = regs[inst.rs1]
+                if not isinstance(next_pc, int):
+                    raise ExecutionError(f"pc {pc}: JR to non-integer target")
+                value = next_pc
+            elif op == Op.PF or op == Op.JPF:
+                addr = regs[inst.rs1] + inst.imm
+            elif op == Op.SUB:
+                regs[inst.rd] = regs[inst.rs1] - regs[inst.rs2]
+            elif op == Op.MUL:
+                regs[inst.rd] = regs[inst.rs1] * regs[inst.rs2]
+            elif op == Op.DIV:
+                b = regs[inst.rs2]
+                if b == 0:
+                    raise ExecutionError(f"pc {pc}: integer division by zero")
+                regs[inst.rd] = int(regs[inst.rs1] / b)
+            elif op == Op.REM:
+                b = regs[inst.rs2]
+                if b == 0:
+                    raise ExecutionError(f"pc {pc}: integer remainder by zero")
+                a = regs[inst.rs1]
+                regs[inst.rd] = a - int(a / b) * b
+            elif op == Op.SLT:
+                regs[inst.rd] = 1 if regs[inst.rs1] < regs[inst.rs2] else 0
+            elif op == Op.SLTU:
+                regs[inst.rd] = 1 if abs(regs[inst.rs1]) < abs(regs[inst.rs2]) else 0
+            elif op == Op.SLTI:
+                regs[inst.rd] = 1 if regs[inst.rs1] < inst.imm else 0
+            elif op == Op.AND:
+                regs[inst.rd] = regs[inst.rs1] & regs[inst.rs2]
+            elif op == Op.OR:
+                regs[inst.rd] = regs[inst.rs1] | regs[inst.rs2]
+            elif op == Op.XOR:
+                regs[inst.rd] = regs[inst.rs1] ^ regs[inst.rs2]
+            elif op == Op.ANDI:
+                regs[inst.rd] = regs[inst.rs1] & inst.imm
+            elif op == Op.ORI:
+                regs[inst.rd] = regs[inst.rs1] | inst.imm
+            elif op == Op.XORI:
+                regs[inst.rd] = regs[inst.rs1] ^ inst.imm
+            elif op == Op.SLL:
+                regs[inst.rd] = regs[inst.rs1] << regs[inst.rs2]
+            elif op == Op.SRL or op == Op.SRA:
+                regs[inst.rd] = regs[inst.rs1] >> regs[inst.rs2]
+            elif op == Op.SLLI:
+                regs[inst.rd] = regs[inst.rs1] << inst.imm
+            elif op == Op.SRLI or op == Op.SRAI:
+                regs[inst.rd] = regs[inst.rs1] >> inst.imm
+            elif op == Op.FADD:
+                regs[inst.rd] = regs[inst.rs1] + regs[inst.rs2]
+            elif op == Op.FSUB:
+                regs[inst.rd] = regs[inst.rs1] - regs[inst.rs2]
+            elif op == Op.FNEG:
+                regs[inst.rd] = -regs[inst.rs1]
+            elif op == Op.FABS:
+                regs[inst.rd] = abs(regs[inst.rs1])
+            elif op == Op.FMUL:
+                regs[inst.rd] = regs[inst.rs1] * regs[inst.rs2]
+            elif op == Op.FDIV:
+                b = regs[inst.rs2]
+                if b == 0:
+                    raise ExecutionError(f"pc {pc}: FP division by zero")
+                regs[inst.rd] = regs[inst.rs1] / b
+            elif op == Op.FSQRT:
+                v = regs[inst.rs1]
+                if v < 0:
+                    raise ExecutionError(f"pc {pc}: FSQRT of negative value")
+                regs[inst.rd] = math.sqrt(v)
+            elif op == Op.FLT:
+                regs[inst.rd] = 1 if regs[inst.rs1] < regs[inst.rs2] else 0
+            elif op == Op.FLE:
+                regs[inst.rd] = 1 if regs[inst.rs1] <= regs[inst.rs2] else 0
+            elif op == Op.FEQ:
+                regs[inst.rd] = 1 if regs[inst.rs1] == regs[inst.rs2] else 0
+            elif op == Op.I2F:
+                regs[inst.rd] = float(regs[inst.rs1])
+            elif op == Op.F2I:
+                regs[inst.rd] = int(regs[inst.rs1])
+            elif op == Op.ALLOC:
+                size = regs[inst.rs1] + inst.imm
+                addr = self.allocator.alloc(int(size))
+                regs[inst.rd] = addr
+                value = addr
+            elif op == Op.NOP:
+                pass
+            elif op == Op.HALT:
+                self.steps = steps
+                self.finished = True
+                yield (inst, 0, 0, False)
+                return
+            else:  # pragma: no cover - exhaustive over Op
+                raise ExecutionError(f"pc {pc}: unimplemented opcode {op.name}")
+
+            if inst.rd == 0 and op not in (Op.SW, Op.PF, Op.JPF, Op.NOP):
+                regs[0] = 0
+            yield (inst, addr, value, taken)
+            pc = next_pc
+            self.steps = steps
+
+
+def run_to_completion(program: Program, max_steps: int = _DEFAULT_MAX_STEPS) -> Interpreter:
+    """Run ``program`` functionally, discarding the trace; returns the
+    interpreter for state inspection (registers, memory, allocator)."""
+    interp = Interpreter(program, max_steps=max_steps)
+    for _ in interp.run():
+        pass
+    return interp

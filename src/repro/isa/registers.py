@@ -1,0 +1,62 @@
+"""Register names for the mini-ISA (MIPS-flavoured conventions).
+
+Registers are plain integers 0..31.  ``ZERO`` is hard-wired to zero.
+Calling convention used by the workload kernels:
+
+* ``A0..A3`` — arguments; ``V0/V1`` — return values
+* ``T0..T9`` — caller-saved temporaries
+* ``S0..S7`` — callee-saved
+* ``SP`` grows downward; ``RA`` holds return addresses.
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 32
+
+ZERO = 0
+AT = 1
+V0 = 2
+V1 = 3
+A0 = 4
+A1 = 5
+A2 = 6
+A3 = 7
+T0 = 8
+T1 = 9
+T2 = 10
+T3 = 11
+T4 = 12
+T5 = 13
+T6 = 14
+T7 = 15
+S0 = 16
+S1 = 17
+S2 = 18
+S3 = 19
+S4 = 20
+S5 = 21
+S6 = 22
+S7 = 23
+T8 = 24
+T9 = 25
+K0 = 26
+K1 = 27
+GP = 28
+SP = 29
+FP = 30
+RA = 31
+
+REG_NAMES = {
+    ZERO: "zero", AT: "at", V0: "v0", V1: "v1",
+    A0: "a0", A1: "a1", A2: "a2", A3: "a3",
+    T0: "t0", T1: "t1", T2: "t2", T3: "t3", T4: "t4", T5: "t5",
+    T6: "t6", T7: "t7", T8: "t8", T9: "t9",
+    S0: "s0", S1: "s1", S2: "s2", S3: "s3", S4: "s4", S5: "s5",
+    S6: "s6", S7: "s7",
+    K0: "k0", K1: "k1", GP: "gp", SP: "sp", FP: "fp", RA: "ra",
+}
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name of register ``reg`` (for disassembly)."""
+    return REG_NAMES.get(reg, f"r{reg}")

@@ -1,0 +1,27 @@
+"""Memory subsystem: memory image, size-class allocator, caches, TLBs and
+the two-level timing hierarchy."""
+
+from .allocator import (
+    SizeClassAllocator,
+    jump_slot,
+    padding_bytes,
+    size_class,
+)
+from .cache import Cache, CacheStats
+from .hierarchy import HierarchyStats, MemoryHierarchy
+from .memory_image import MemoryImage
+from .tlb import TLB, TLBStats
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "HierarchyStats",
+    "MemoryHierarchy",
+    "MemoryImage",
+    "SizeClassAllocator",
+    "TLB",
+    "TLBStats",
+    "jump_slot",
+    "padding_bytes",
+    "size_class",
+]

@@ -1,0 +1,111 @@
+"""Set-associative cache state model with LRU replacement.
+
+This models cache *contents* (hit/miss/eviction and dirty state); access
+*timing* (buses, MSHRs, miss latencies) lives in
+:class:`repro.mem.hierarchy.MemoryHierarchy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """Tag array of a set-associative write-back cache with true LRU."""
+
+    __slots__ = ("cfg", "name", "stats", "_sets", "_dirty", "_seq", "_line_mask", "_set_mask", "_line_shift")
+
+    def __init__(self, cfg: CacheConfig, name: str = "cache") -> None:
+        self.cfg = cfg
+        self.name = name
+        self.stats = CacheStats()
+        self._sets: list[dict[int, int]] = [dict() for _ in range(cfg.sets)]
+        self._dirty: set[int] = set()
+        self._seq = 0
+        self._line_mask = ~(cfg.line - 1)
+        self._line_shift = cfg.line.bit_length() - 1
+        self._set_mask = cfg.sets - 1
+
+    def line_addr(self, addr: int) -> int:
+        return addr & self._line_mask
+
+    def _set_index(self, line: int) -> int:
+        return (line >> self._line_shift) & self._set_mask
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        """Reference ``addr``; returns True on hit.  Updates LRU and dirty
+        state but does not allocate on miss (call :meth:`fill`)."""
+        line = addr & self._line_mask
+        s = self._sets[self._set_index(line)]
+        self.stats.accesses += 1
+        self._seq += 1
+        if line in s:
+            s[line] = self._seq
+            if write:
+                self._dirty.add(line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Hit check without touching LRU or statistics."""
+        line = addr & self._line_mask
+        return line in self._sets[self._set_index(line)]
+
+    def fill(self, addr: int, dirty: bool = False) -> tuple[int | None, bool]:
+        """Allocate the line holding ``addr``.
+
+        Returns ``(evicted_line, evicted_dirty)``; ``(None, False)`` when no
+        eviction occurred (or the line was already present).
+        """
+        line = addr & self._line_mask
+        s = self._sets[self._set_index(line)]
+        self._seq += 1
+        if line in s:
+            s[line] = self._seq
+            if dirty:
+                self._dirty.add(line)
+            return None, False
+        evicted = None
+        evicted_dirty = False
+        if len(s) >= self.cfg.assoc:
+            evicted = min(s, key=s.__getitem__)
+            del s[evicted]
+            evicted_dirty = evicted in self._dirty
+            self._dirty.discard(evicted)
+            self.stats.evictions += 1
+            if evicted_dirty:
+                self.stats.writebacks += 1
+        s[line] = self._seq
+        if dirty:
+            self._dirty.add(line)
+        return evicted, evicted_dirty
+
+    def invalidate(self, addr: int) -> bool:
+        """Remove the line holding ``addr``; returns True if it was present."""
+        line = addr & self._line_mask
+        s = self._sets[self._set_index(line)]
+        if line in s:
+            del s[line]
+            self._dirty.discard(line)
+            return True
+        return False
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)

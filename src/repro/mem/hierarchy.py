@@ -1,0 +1,333 @@
+"""Two-level memory hierarchy with miss, bus, MSHR and TLB timing.
+
+Latency composition for a demand L1 data miss issued at time *t*:
+
+1. L1 lookup (``dl1.latency``), miss detected; an MSHR is acquired (at most
+   ``max_outstanding_misses`` in flight — Table 2's 8; a full MSHR file
+   delays the request until the earliest outstanding miss completes).
+2. L2 lookup (12 cycles).  On a hit the line crosses the L2 bus (8 bytes per
+   bus cycle at half core frequency).  On a miss, main memory is accessed
+   (70 cycles) and the L2 line crosses the memory bus (8 bytes per bus cycle
+   at quarter core frequency), then the L1 line crosses the L2 bus.
+3. The line is filled; in-flight misses are recorded so later accesses to
+   the same line merge and see only the residual latency.
+
+Prefetch requests follow the same path but fill the prefetch buffer when
+one is configured (hardware/cooperative/DBP schemes); a demand hit in the
+prefetch buffer costs one cycle and installs the line into L1 ("installed
+into the cache if used", Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import MachineConfig
+from .cache import Cache
+
+
+@dataclass
+class HierarchyStats:
+    """Event and bandwidth counters for one simulation."""
+
+    loads: int = 0
+    stores: int = 0
+    l1d_partial_hits: int = 0
+    pb_hits: int = 0
+    prefetches_requested: int = 0
+    prefetches_issued: int = 0
+    prefetches_redundant: int = 0
+    prefetches_throttled: int = 0
+    prefetches_useful: int = 0
+    bytes_l1_l2: int = 0
+    bytes_l2_mem: int = 0
+    dtlb_cycles: int = 0
+    miss_intervals: list[tuple[int, int]] | None = None
+    lds_load_misses: int = 0
+    load_misses: int = 0
+
+    extra: dict[str, int] = field(default_factory=dict)
+
+
+class MemoryHierarchy:
+    """See module docstring."""
+
+    def __init__(
+        self,
+        cfg: MachineConfig,
+        use_prefetch_buffer: bool = False,
+        collect_miss_intervals: bool = False,
+    ) -> None:
+        from .tlb import TLB  # local import to avoid cycle in docs builds
+
+        self.cfg = cfg
+        self.il1 = Cache(cfg.il1, "il1")
+        self.dl1 = Cache(cfg.dl1, "dl1")
+        self.l2 = Cache(cfg.l2, "l2")
+        self.itlb = TLB(cfg.itlb)
+        self.dtlb = TLB(cfg.dtlb)
+        self.pb: Cache | None = (
+            Cache(cfg.prefetch.prefetch_buffer, "pb") if use_prefetch_buffer else None
+        )
+        self.stats = HierarchyStats()
+        if collect_miss_intervals:
+            self.stats.miss_intervals = []
+        # Two-class bus accounting: demand transfers have priority and see
+        # only other demand traffic; prefetch/background transfers queue
+        # behind everything (`*_all`).
+        self._l2_bus_demand = 0
+        self._l2_bus_all = 0
+        self._mem_bus_demand = 0
+        self._mem_bus_all = 0
+        self._mshr_done: list[int] = []  # completion times of in-flight misses
+        self._inflight: dict[int, int] = {}  # line -> data ready time
+        self._pf_lines: set[int] = set()  # lines filled by prefetch, not yet used
+        self._pf_inflight: set[int] = set()
+        self._perfect = cfg.perfect_data_memory
+        # Worst-case demand fill latency: used to promote in-flight
+        # background (prefetch) fills that a demand access merges with —
+        # the demand must never wait longer than its own miss would take.
+        self._demand_fill_estimate = (
+            cfg.dl1.latency
+            + cfg.l2.latency
+            + cfg.memory_latency
+            + cfg.mem_bus.cycles_for(cfg.l2.line)
+            + cfg.l2_bus.cycles_for(cfg.dl1.line)
+        )
+
+    # ------------------------------------------------------------------
+    # Shared L2/memory path
+    # ------------------------------------------------------------------
+
+    def _acquire_mshr(self, time: int) -> int:
+        """Returns the time the request can proceed given the MSHR limit."""
+        done = self._mshr_done
+        done[:] = [t for t in done if t > time]
+        if len(done) >= self.cfg.max_outstanding_misses:
+            time = min(done)
+            done[:] = [t for t in done if t > time]
+        return time
+
+    def _release_mshr(self, done_time: int) -> None:
+        self._mshr_done.append(done_time)
+
+    def _l2_path(
+        self,
+        line_addr: int,
+        time: int,
+        fill_line_bytes: int,
+        background: bool = False,
+    ) -> int:
+        """Request ``fill_line_bytes`` at ``line_addr`` from L2/memory at
+        ``time``; returns the time the data arrives at the L1 boundary.
+        ``background`` transfers (prefetches, store-miss fills) yield bus
+        priority to demand transfers."""
+        cfg = self.cfg
+        t = time + cfg.l2.latency
+        if self.l2.access(line_addr):
+            bus_start = max(t, self._l2_bus_all if background else self._l2_bus_demand)
+        else:
+            # Main memory access, then fill L2.
+            mem_start = max(
+                t, self._mem_bus_all if background else self._mem_bus_demand
+            )
+            data_at_l2 = mem_start + cfg.memory_latency
+            xfer = cfg.mem_bus.cycles_for(cfg.l2.line)
+            mem_done = data_at_l2 + xfer
+            self._mem_bus_all = max(self._mem_bus_all, mem_done)
+            if not background:
+                self._mem_bus_demand = max(self._mem_bus_demand, mem_done)
+            self.stats.bytes_l2_mem += cfg.l2.line
+            evicted, dirty = self.l2.fill(line_addr)
+            if dirty:
+                self.stats.bytes_l2_mem += cfg.l2.line
+                self._mem_bus_all += cfg.mem_bus.cycles_for(cfg.l2.line)
+            bus_start = max(
+                mem_done, self._l2_bus_all if background else self._l2_bus_demand
+            )
+        xfer_l1 = cfg.l2_bus.cycles_for(fill_line_bytes)
+        done = bus_start + xfer_l1
+        self._l2_bus_all = max(self._l2_bus_all, done)
+        if not background:
+            self._l2_bus_demand = max(self._l2_bus_demand, done)
+        self.stats.bytes_l1_l2 += fill_line_bytes
+        return done
+
+    def _writeback_l1(self, line_addr: int) -> None:
+        """Dirty L1 eviction: background traffic on the L2 bus."""
+        self.stats.bytes_l1_l2 += self.cfg.dl1.line
+        self._l2_bus_all += self.cfg.l2_bus.cycles_for(self.cfg.dl1.line)
+        if not self.l2.access(line_addr, write=True):
+            # Allocate-on-writeback; memory traffic counted, timing folded
+            # into bus occupancy.
+            __, dirty = self.l2.fill(line_addr, dirty=True)
+            self.stats.bytes_l2_mem += self.cfg.l2.line
+            if dirty:
+                self.stats.bytes_l2_mem += self.cfg.l2.line
+
+    def _fill_l1(self, addr: int, dirty: bool) -> None:
+        evicted, evicted_dirty = self.dl1.fill(addr, dirty=dirty)
+        if evicted is not None:
+            self._pf_lines.discard(evicted)
+            if evicted_dirty:
+                self._writeback_l1(evicted)
+
+    # ------------------------------------------------------------------
+    # Demand data accesses
+    # ------------------------------------------------------------------
+
+    def data_access(
+        self, addr: int, time: int, write: bool = False, lds: bool = False
+    ) -> int:
+        """Demand load/store of the word at ``addr`` starting at ``time``;
+        returns the completion time."""
+        st = self.stats
+        if write:
+            st.stores += 1
+        else:
+            st.loads += 1
+        if self._perfect:
+            return time + 1
+
+        time += self.dtlb.translate(addr)
+
+        line = self.dl1.line_addr(addr)
+        inflight = self._inflight.get(line)
+        if inflight is not None and inflight > time:
+            # Merge with an in-flight miss (possibly a late prefetch).
+            st.l1d_partial_hits += 1
+            if line in self._pf_inflight:
+                st.prefetches_useful += 1
+                self._pf_inflight.discard(line)
+                self._pf_lines.discard(line)
+                # Promote the background fill to demand priority.
+                cap = time + self._demand_fill_estimate
+                if inflight > cap:
+                    inflight = cap
+                    self._inflight[line] = cap
+            if write and self.dl1.probe(addr):
+                self.dl1.access(addr, write=True)  # dirty/LRU update
+            return inflight
+
+        if self.dl1.access(addr, write=write):
+            if line in self._pf_lines:
+                st.prefetches_useful += 1
+                self._pf_lines.discard(line)
+                self._pf_inflight.discard(line)
+            return time + self.cfg.dl1.latency
+
+        if not write:
+            st.load_misses += 1
+            if lds:
+                st.lds_load_misses += 1
+
+        if self.pb is not None and self.pb.probe(line):
+            # Prefetch-buffer hit: 1 cycle, install into L1.
+            self.pb.invalidate(line)
+            st.pb_hits += 1
+            st.prefetches_useful += 1
+            self._pf_inflight.discard(line)
+            self._fill_l1(addr, dirty=write)
+            return time + self.cfg.prefetch.prefetch_buffer.latency
+
+        t = self._acquire_mshr(time + self.cfg.dl1.latency)
+        ready = self._l2_path(line, t, self.cfg.dl1.line, background=write)
+        self._release_mshr(ready)
+        self._fill_l1(addr, dirty=write)
+        self._inflight[line] = ready
+        if len(self._inflight) > 4096:
+            self._inflight = {
+                ln: rt for ln, rt in self._inflight.items() if rt > time
+            }
+        if st.miss_intervals is not None and not write:
+            st.miss_intervals.append((time, ready))
+        return ready
+
+    def jp_store(self, addr: int, time: int) -> None:
+        """Hardware jump-pointer install (Figure 3b): a fire-and-forget
+        store request.  Hits update the cached line; misses write around
+        the L1 (no allocation, no MSHR) — the word travels to L2/memory on
+        its own, which is counted as bandwidth but delays nobody."""
+        if self.dl1.probe(addr):
+            self.dl1.access(addr, write=True)
+            return
+        self.stats.bytes_l1_l2 += 4
+        self._l2_bus_all += self.cfg.l2_bus.cycles_for(4)
+        line = self.l2.line_addr(addr)
+        if not self.l2.access(line, write=True):
+            self.l2.fill(line, dirty=True)
+            self.stats.bytes_l2_mem += self.cfg.l2.line
+
+    # ------------------------------------------------------------------
+    # Instruction fetch
+    # ------------------------------------------------------------------
+
+    def inst_fetch(self, addr: int, time: int) -> int:
+        """Fetch the instruction line at ``addr``; returns ready time."""
+        time += self.itlb.translate(addr)
+        line = self.il1.line_addr(addr)
+        if self.il1.access(addr):
+            return time + self.cfg.il1.latency
+        t = self._acquire_mshr(time + self.cfg.il1.latency)
+        ready = self._l2_path(line, t, self.cfg.il1.line)
+        self._release_mshr(ready)
+        self.il1.fill(addr)
+        return ready
+
+    # ------------------------------------------------------------------
+    # Prefetches
+    # ------------------------------------------------------------------
+
+    def probe_cached(self, addr: int, time: int) -> bool:
+        """True if the line holding ``addr`` is in L1, the prefetch buffer,
+        or already in flight (no prefetch request would be generated)."""
+        line = self.dl1.line_addr(addr)
+        if self.dl1.probe(line) or (self.pb is not None and self.pb.probe(line)):
+            return True
+        inflight = self._inflight.get(line)
+        return inflight is not None and inflight > time
+
+    def prefetch_request(self, addr: int, time: int) -> int | None:
+        """Issue a (hardware or software) prefetch of the line at ``addr``.
+
+        Returns the fill-completion time, or None if the request was
+        redundant (line already cached, buffered, or in flight).
+        """
+        st = self.stats
+        st.prefetches_requested += 1
+        if self._perfect:
+            return None
+        line = self.dl1.line_addr(addr)
+        if self.dl1.probe(line) or (self.pb is not None and self.pb.probe(line)):
+            st.prefetches_redundant += 1
+            return None
+        inflight = self._inflight.get(line)
+        if inflight is not None and inflight > time:
+            st.prefetches_redundant += 1
+            return None
+
+        # Prefetches wait for idle resources (the paper's PRQ rationale:
+        # "to minimize resource contention"): they may not take the last
+        # MSHRs (reserved for demand misses) and do not pile onto already
+        # backlogged buses, where they would delay demand transfers (the
+        # model has no demand-priority reordering).
+        self._mshr_done[:] = [t for t in self._mshr_done if t > time]
+        if len(self._mshr_done) >= self.cfg.max_outstanding_misses - 2:
+            st.prefetches_throttled += 1
+            return None
+
+        time += self.dtlb.translate(addr)
+        t = self._acquire_mshr(time)
+        ready = self._l2_path(line, t, self.cfg.dl1.line, background=True)
+        self._release_mshr(ready)
+        st.prefetches_issued += 1
+        if self.pb is not None:
+            evicted, __ = self.pb.fill(line)
+            if evicted is not None:
+                self._pf_inflight.discard(evicted)
+        else:
+            self._fill_l1(addr, dirty=False)
+            self._pf_lines.add(line)
+        self._inflight[line] = ready
+        self._pf_inflight.add(line)
+        return ready

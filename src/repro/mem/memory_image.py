@@ -1,0 +1,45 @@
+"""Sparse word-addressable memory image.
+
+The simulated machine has 4-byte words.  Values stored in memory are
+Python numbers (ints for integers/pointers, floats for FP data); this is a
+simulator-level convenience — addresses and layout are still fully
+byte-accurate.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExecutionError
+
+WORD = 4
+
+
+class MemoryImage:
+    """Word-granular sparse memory.  Uninitialized words read as zero."""
+
+    __slots__ = ("_words",)
+
+    def __init__(self, initial: dict[int, int | float] | None = None) -> None:
+        self._words: dict[int, int | float] = dict(initial) if initial else {}
+
+    def load(self, addr: int) -> int | float:
+        if addr % WORD or addr < 0:
+            raise ExecutionError(f"misaligned or negative load address {addr:#x}")
+        return self._words.get(addr, 0)
+
+    def store(self, addr: int, value: int | float) -> None:
+        if addr % WORD or addr < 0:
+            raise ExecutionError(f"misaligned or negative store address {addr:#x}")
+        self._words[addr] = value
+
+    def peek(self, addr: int) -> int | float:
+        """Load without alignment checks (prefetch-engine probes)."""
+        return self._words.get(addr, 0)
+
+    def copy(self) -> "MemoryImage":
+        return MemoryImage(self._words)
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._words

@@ -1,0 +1,28 @@
+"""Prefetch engines: software, DBP, cooperative, and hardware JPP."""
+
+from .adaptive import AdaptiveJumpQueueTable, AdaptiveStats
+from .base import EngineStats, PrefetchEngine, SoftwarePrefetchEngine
+from .dependence import DependencePredictor, ValueCorrelator
+from .engines import (
+    ENGINE_CLASSES,
+    CooperativeEngine,
+    DBPEngine,
+    HardwareJPPEngine,
+)
+from .jqt import JumpPointerStorage, JumpQueueTable
+
+__all__ = [
+    "AdaptiveJumpQueueTable",
+    "AdaptiveStats",
+    "CooperativeEngine",
+    "DBPEngine",
+    "DependencePredictor",
+    "ENGINE_CLASSES",
+    "EngineStats",
+    "HardwareJPPEngine",
+    "JumpPointerStorage",
+    "JumpQueueTable",
+    "PrefetchEngine",
+    "SoftwarePrefetchEngine",
+    "ValueCorrelator",
+]

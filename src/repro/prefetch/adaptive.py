@@ -1,0 +1,111 @@
+"""Adaptive jump intervals — the paper's first "future direction".
+
+    "Our simulated implementation used a fixed queueing interval of 8
+    nodes without regard to the trade-offs in latency tolerance and
+    predictive accuracy.  A more detailed study of this spectrum is
+    needed, with a better mechanism adapting the interval on a case by
+    case basis." (Section 6)
+
+:class:`AdaptiveJumpQueueTable` gives each recurrent load its own
+interval, steered by the observed *timeliness* of its jump prefetches:
+
+* a prefetch is **late** when the demand access arrives before the fill
+  completes (the jump did not reach far enough ahead) → widen;
+* a prefetch is **early** when its data sat unused for much longer than
+  a memory latency (risking eviction and staleness) → narrow.
+
+Feedback arrives through :meth:`feedback`; after ``ADAPT_EVERY``
+observations the interval doubles or halves within
+``[MIN_INTERVAL, max_interval]``.  Existing queue contents are preserved
+on re-sizing (truncated from the old end when narrowing), so adaptation
+does not restart the pipeline of pending jump-pointers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..config import PrefetchConfig
+from .jqt import JumpQueueTable
+
+
+@dataclass
+class AdaptiveStats:
+    late: int = 0
+    early: int = 0
+    timely: int = 0
+    widenings: int = 0
+    narrowings: int = 0
+    intervals: dict[int, int] = field(default_factory=dict)
+
+
+class AdaptiveJumpQueueTable(JumpQueueTable):
+    """Per-PC jump intervals steered by prefetch-timeliness feedback."""
+
+    MIN_INTERVAL = 2
+    ADAPT_EVERY = 16
+    #: fraction of observations that must agree before adapting
+    VOTE = 0.625
+
+    def __init__(self, pcfg: PrefetchConfig, max_interval: int = 64) -> None:
+        super().__init__(pcfg)
+        self.max_interval = max_interval
+        self._intervals: dict[int, int] = {}
+        self._votes: dict[int, list[int]] = {}  # pc -> [late, early, total]
+        self.adapt_stats = AdaptiveStats()
+
+    def interval_of(self, pc: int) -> int:
+        return self._intervals.get(pc, self._interval)
+
+    def advance(self, pc: int, addr: int) -> int | None:
+        """As in the base table, but against the PC's own interval."""
+        self._seq += 1
+        interval = self.interval_of(pc)
+        entry = self._queues.get(pc)
+        if entry is None:
+            if len(self._queues) >= self._entries:
+                victim = min(self._queues, key=lambda k: self._queues[k][1])
+                del self._queues[victim]
+                self.stats.entry_evictions += 1
+            q: deque[int] = deque(maxlen=interval)
+            self._queues[pc] = (q, self._seq)
+        else:
+            q, __ = entry
+            if q.maxlen != interval:
+                # re-size preserving the newest entries
+                q = deque(list(q)[-interval:], maxlen=interval)
+            self._queues[pc] = (q, self._seq)
+        home = None
+        if len(q) == interval:
+            home = q[0]
+        q.append(addr)
+        if home is not None:
+            self.stats.installs += 1
+        return home
+
+    def feedback(self, pc: int, late: bool, early: bool) -> None:
+        """Report one jump-prefetch outcome for ``pc``."""
+        st = self.adapt_stats
+        if late:
+            st.late += 1
+        elif early:
+            st.early += 1
+        else:
+            st.timely += 1
+        votes = self._votes.setdefault(pc, [0, 0, 0])
+        votes[0] += late
+        votes[1] += early
+        votes[2] += 1
+        if votes[2] < self.ADAPT_EVERY:
+            return
+        n_late, n_early, total = votes
+        self._votes[pc] = [0, 0, 0]
+        interval = self.interval_of(pc)
+        if n_late >= total * self.VOTE and interval < self.max_interval:
+            self._intervals[pc] = interval * 2
+            st.widenings += 1
+        elif n_early >= total * self.VOTE and interval > self.MIN_INTERVAL:
+            self._intervals[pc] = interval // 2
+            st.narrowings += 1
+        st.intervals = dict(self._intervals)

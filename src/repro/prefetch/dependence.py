@@ -1,0 +1,116 @@
+"""Dependence predictor and value correlator.
+
+The dependence predictor is the central DBP structure [Roth, Moshovos &
+Sohi 1998]: a set-associative table of *correlations* — (producer load PC)
+-> list of (consumer load PC, address offset) — meaning "the value loaded
+by the producer, plus offset, is the address of the consumer".  Completed
+loads (and completed prefetches, speculatively) query it to launch chained
+prefetches.
+
+The value correlator implements the cooperative scheme's learning
+(Section 3.2): it remembers recent jump-pointer values fetched by ``JPF``
+instructions; when a later demand load's base address equals a remembered
+value, a correlation from the ``JPF`` to that load is created, after which
+the hardware automatically issues chained-prefetch instances of loads that
+depend on a jump-pointer prefetch.
+"""
+
+from __future__ import annotations
+
+from ..config import PrefetchConfig
+
+#: Offsets outside this window are considered coincidental, not field access.
+MIN_OFFSET = -64
+MAX_OFFSET = 4096
+
+
+class DependencePredictor:
+    """Set-associative producer->consumer correlation table."""
+
+    def __init__(self, pcfg: PrefetchConfig) -> None:
+        self._sets = max(1, pcfg.dep_entries // pcfg.dep_assoc)
+        self._assoc = pcfg.dep_assoc
+        self._table: dict[int, dict[int, tuple[dict[int, int], int]]] = {}
+        self._seq = 0
+        self.learned = 0
+        self.evicted = 0
+
+    def learn(self, producer_pc: int, consumer_pc: int, offset: int) -> bool:
+        """Record that consumer's address = producer's value + offset."""
+        if not MIN_OFFSET <= offset <= MAX_OFFSET:
+            return False
+        idx = producer_pc % self._sets
+        s = self._table.setdefault(idx, {})
+        self._seq += 1
+        if producer_pc not in s:
+            if len(s) >= self._assoc:
+                victim = min(s, key=lambda k: s[k][1])
+                del s[victim]
+                self.evicted += 1
+            s[producer_pc] = ({}, self._seq)
+        consumers, __ = s[producer_pc]
+        s[producer_pc] = (consumers, self._seq)
+        if consumer_pc not in consumers:
+            self.learned += 1
+        consumers[consumer_pc] = offset
+        return True
+
+    def lookup(self, producer_pc: int) -> list[tuple[int, int]]:
+        """Consumers of ``producer_pc`` as (consumer_pc, offset) pairs."""
+        s = self._table.get(producer_pc % self._sets)
+        if not s or producer_pc not in s:
+            return []
+        consumers, __ = s[producer_pc]
+        self._seq += 1
+        s[producer_pc] = (consumers, self._seq)
+        return list(consumers.items())
+
+    def is_recurrent(self, pc: int) -> bool:
+        """True if ``pc`` participates in a length-1 or length-2 dependence
+        cycle — the paper's "backbone" (recurrent) loads such as
+        ``l = l->next`` or a tree's mutually-recursive child loads."""
+        for consumer_pc, __ in self.lookup_quiet(pc):
+            if consumer_pc == pc:
+                return True
+            for c2, __ in self.lookup_quiet(consumer_pc):
+                if c2 == pc:
+                    return True
+        return False
+
+    def lookup_quiet(self, producer_pc: int) -> list[tuple[int, int]]:
+        """Lookup without LRU update (used by recurrence tests)."""
+        s = self._table.get(producer_pc % self._sets)
+        if not s or producer_pc not in s:
+            return []
+        return list(s[producer_pc][0].items())
+
+
+class ValueCorrelator:
+    """Small CAM of recently fetched jump-pointer values -> JPF PC."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        self._capacity = capacity
+        self._entries: dict[int, tuple[int, int]] = {}  # value -> (pc, seq)
+        self._seq = 0
+
+    def record(self, value: int, pc: int) -> None:
+        self._seq += 1
+        if value not in self._entries and len(self._entries) >= self._capacity:
+            victim = min(self._entries, key=lambda k: self._entries[k][1])
+            del self._entries[victim]
+        self._entries[value] = (pc, self._seq)
+
+    def match(self, value: int) -> int | None:
+        """JPF PC that fetched ``value``, if remembered.
+
+        The entry is retained (refreshed) so every load consuming the
+        jump-pointer's value — a node's value, rib pointer and next field —
+        gets its own correlation; entries age out by capacity.
+        """
+        hit = self._entries.get(value)
+        if hit is None:
+            return None
+        pc, __ = hit
+        self._seq += 1
+        self._entries[value] = (pc, self._seq)
+        return pc

@@ -1,0 +1,261 @@
+"""The three prefetch hardware configurations of the paper.
+
+* :class:`DBPEngine` — dependence-based prefetching only (the comparison
+  point from [16]): learns load-load dependences, speculatively unrolls the
+  traversal kernel, chained prefetches pace serially at memory latency.
+* :class:`CooperativeEngine` — DBP hardware plus the ``JPF`` interface:
+  software jump-pointer prefetches trigger hardware chained prefetching
+  (Section 3.2).
+* :class:`HardwareJPPEngine` — DBP extended with the Jump Queue Table and
+  Jump-pointer Register; jump-pointers are created at recurrent-load commit
+  and used at recurrent-load issue (Section 3.3).  Implements chain jumping
+  (queue jumping falls out automatically on backbone-only structures).
+"""
+
+from __future__ import annotations
+
+from ..config import PrefetchConfig
+from ..isa.instruction import Instruction
+from .base import EngineStats, PrefetchEngine, SoftwarePrefetchEngine
+from .dependence import DependencePredictor, ValueCorrelator
+from .jqt import JumpPointerStorage, JumpQueueTable
+
+
+class DBPEngine(PrefetchEngine):
+    """Dependence-based prefetching (no jump-pointers)."""
+
+    name = "dbp"
+    uses_prefetch_buffer = True
+    needs_dataflow = True
+
+    #: A (consumer, address) pair chased within this many cycles is not
+    #: chased again — models the predictor declining to re-launch an
+    #: already-outstanding unroll.
+    RECHASE_WINDOW = 400
+    #: Prefetches one trigger event (a completed load or a jump-pointer
+    #: prefetch) may spawn.  Models the pacing imposed by the 8-entry PRQ
+    #: and the predictor's 2 queries/cycle: the speculative unroll proceeds
+    #: a bounded distance per arrival rather than fanning out exponentially.
+    CHASE_BUDGET = 16
+
+    def __init__(self, pcfg: PrefetchConfig | None = None) -> None:
+        super().__init__(pcfg)
+        self.predictor = DependencePredictor(self.pcfg)
+        self.recurrent_pcs: set[int] = set()
+        self._recent_chase: dict[tuple[int, int], int] = {}
+        self._budget = 0
+
+    # -- learning ------------------------------------------------------
+
+    def _learn(
+        self,
+        inst: Instruction,
+        addr: int,
+        producer_pc: int | None,
+        producer_value: int | float | None,
+    ) -> None:
+        if producer_pc is None or not isinstance(producer_value, int):
+            return
+        offset = addr - producer_value
+        if self.predictor.learn(producer_pc, inst.index, offset):
+            self.stats.correlations_learned += 1
+            pc = inst.index
+            if producer_pc == pc:
+                self.recurrent_pcs.add(pc)
+            else:
+                # Mutual recursion (tree child loads feed each other).
+                for cpc, __ in self.predictor.lookup_quiet(pc):
+                    if cpc == producer_pc:
+                        self.recurrent_pcs.add(pc)
+                        self.recurrent_pcs.add(producer_pc)
+                        break
+
+    # -- chained prefetching -------------------------------------------
+
+    def _trigger(self, producer_pc: int, value: int, time: int) -> None:
+        """Start one unroll with a fresh chase budget."""
+        self._budget = self.CHASE_BUDGET
+        self._chase(producer_pc, value, time, self.pcfg.max_chain_depth)
+
+    def _chase(self, producer_pc: int, value: int, time: int, depth: int) -> None:
+        """Speculatively unroll the traversal kernel from ``value``."""
+        if depth <= 0 or not self.valid_pointer(value):
+            return
+        recent = self._recent_chase
+        for consumer_pc, offset in self.predictor.lookup(producer_pc):
+            if self._budget <= 0:
+                return
+            addr = value + offset
+            if addr % 4 or addr < 0:
+                continue
+            # One unroll step (this consumer at this address) is launched at
+            # most once per window; a duplicate means the same speculative
+            # kernel instance is already outstanding, subtree included.
+            key = (consumer_pc, addr)
+            seen = recent.get(key)
+            if seen is not None and time - seen < self.RECHASE_WINDOW:
+                continue
+            recent[key] = time
+            if len(recent) > 65536:
+                cutoff = time - self.RECHASE_WINDOW
+                self._recent_chase = recent = {
+                    k: t for k, t in recent.items() if t >= cutoff
+                }
+            self._budget -= 1
+            done = self.request(addr, time)
+            if done is None:
+                continue
+            nxt = self.timing_mem.peek(addr)
+            if isinstance(nxt, int) and nxt:
+                self._chase(consumer_pc, nxt, done, depth - 1)
+
+    # -- hooks -----------------------------------------------------------
+
+    def on_load_commit(
+        self,
+        inst: Instruction,
+        addr: int,
+        value: int | float,
+        time: int,
+        producer_pc: int | None,
+        producer_value: int | float | None,
+    ) -> None:
+        self._learn(inst, addr, producer_pc, producer_value)
+        if isinstance(value, int) and value:
+            self._trigger(inst.index, value, time)
+
+
+class CooperativeEngine(DBPEngine):
+    """DBP hardware driven by software jump-pointer prefetches (``JPF``)."""
+
+    name = "cooperative"
+
+    def __init__(self, pcfg: PrefetchConfig | None = None) -> None:
+        super().__init__(pcfg)
+        self.correlator = ValueCorrelator()
+
+    def on_sw_prefetch(self, inst: Instruction, addr: int, time: int) -> None:
+        from ..isa.opcodes import Op
+
+        if inst.op == Op.PF:
+            self.stats.sw_prefetches += 1
+            self.hierarchy.prefetch_request(addr, time)
+            return
+        # JPF: hardware performs the second (non-binding) load of the
+        # software prefetch pair: read the jump-pointer, prefetch its
+        # target, and chain through the dependence predictor.
+        jp = self.timing_mem.peek(addr)
+        if not self.valid_pointer(jp):
+            self.stats.jp_invalid += 1
+            return
+        self.correlator.record(jp, inst.index)
+        done = self.request(jp, time, kind="jump")
+        if done is not None:
+            self._trigger(inst.index, jp, done)
+
+    def on_load_commit(
+        self,
+        inst: Instruction,
+        addr: int,
+        value: int | float,
+        time: int,
+        producer_pc: int | None,
+        producer_value: int | float | None,
+    ) -> None:
+        base = addr - inst.imm if isinstance(inst.imm, int) else None
+        if base is not None:
+            jpf_pc = self.correlator.match(base)
+            if jpf_pc is not None and self.predictor.learn(
+                jpf_pc, inst.index, inst.imm
+            ):
+                self.stats.correlations_learned += 1
+        super().on_load_commit(inst, addr, value, time, producer_pc, producer_value)
+
+
+class HardwareJPPEngine(DBPEngine):
+    """DBP + JQT/JPR: fully automatic jump-pointer prefetching."""
+
+    name = "hardware"
+    needs_issue_hook = True
+
+    #: a jump prefetch whose data sat unused this long is "too early"
+    EARLY_SLACK = 800
+
+    def __init__(self, pcfg: PrefetchConfig | None = None) -> None:
+        super().__init__(pcfg)
+        if self.pcfg.adaptive_interval:
+            from .adaptive import AdaptiveJumpQueueTable
+
+            self.jqt: JumpQueueTable = AdaptiveJumpQueueTable(
+                self.pcfg, max_interval=self.pcfg.adaptive_max_interval
+            )
+        else:
+            self.jqt = JumpQueueTable(self.pcfg)
+        self.storage = JumpPointerStorage(self.pcfg)
+        self._jump_outstanding: dict[int, tuple[int, int]] = {}
+
+    def _adapt_feedback(self, addr: int, time: int) -> None:
+        line = addr & self.line_mask
+        record = self._jump_outstanding.pop(line, None)
+        if record is None:
+            return
+        pc, done = record
+        self.jqt.feedback(pc, late=time < done, early=time > done + self.EARLY_SLACK)
+
+    def on_load_issue(self, inst: Instruction, addr: int, time: int) -> None:
+        pc = inst.index
+        adaptive = self.pcfg.adaptive_interval
+        if adaptive:
+            self._adapt_feedback(addr, time)
+        if pc not in self.recurrent_pcs:
+            return
+        if inst.pad <= 0 and not self.storage.onchip:
+            return  # no padding: hardware has nowhere to look
+        jp = self.storage.load(self.timing_mem, addr, inst.pad)
+        self.jqt.stats.retrievals += 1
+        if not self.valid_pointer(jp):
+            self.jqt.stats.retrieval_misses += 1
+            return
+        done = self.request(jp, time, kind="jump")
+        if done is not None and isinstance(inst.imm, int):
+            if adaptive:
+                self._jump_outstanding[jp & self.line_mask] = (pc, done)
+                if len(self._jump_outstanding) > 4096:
+                    self._jump_outstanding.clear()
+            node_base = jp - inst.imm
+            self._trigger(pc, node_base, done)
+
+    def on_load_commit(
+        self,
+        inst: Instruction,
+        addr: int,
+        value: int | float,
+        time: int,
+        producer_pc: int | None,
+        producer_value: int | float | None,
+    ) -> None:
+        super().on_load_commit(inst, addr, value, time, producer_pc, producer_value)
+        pc = inst.index
+        if pc not in self.recurrent_pcs:
+            return
+        if inst.pad <= 0 and not self.storage.onchip:
+            return
+        home = self.jqt.advance(pc, addr)
+        if home is None:
+            return
+        slot = self.storage.store(self.timing_mem, home, inst.pad, addr)
+        self.stats.jp_stores += 1
+        if slot is not None:
+            # The jump-pointer store is real cache traffic (usually an L1
+            # hit: the home node was referenced I hops ago; cold homes
+            # write around without allocating).
+            self.hierarchy.jp_store(slot, time)
+
+
+ENGINE_CLASSES: dict[str, type[PrefetchEngine]] = {
+    "none": PrefetchEngine,
+    "software": SoftwarePrefetchEngine,
+    "dbp": DBPEngine,
+    "cooperative": CooperativeEngine,
+    "hardware": HardwareJPPEngine,
+}

@@ -1,0 +1,125 @@
+"""Jump Queue Table, Jump-pointer Register and jump-pointer storage.
+
+The JQT (Section 3.3, Figure 3) implements the queue method in hardware:
+each recurrent ("backbone") load has a queue of its last *I* effective
+addresses.  When a new instance commits, a jump-pointer is created from the
+node at the head of the queue (the *home*, visited *I* hops ago) to the
+current node (the *target*), and the queue advances.
+
+Jump-pointers are stored either in *allocator padding* — located from the
+access address and the annotated load's size class (see
+:func:`repro.mem.allocator.jump_slot`) — or, for the Section 3.3 ablation,
+in a finite on-chip table.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..config import PrefetchConfig
+from ..mem.allocator import jump_slot
+
+
+@dataclass
+class JQTStats:
+    installs: int = 0
+    retrievals: int = 0
+    retrieval_misses: int = 0
+    entry_evictions: int = 0
+
+
+class JumpQueueTable:
+    """Fully-associative table of per-PC address queues (32 entries)."""
+
+    def __init__(self, pcfg: PrefetchConfig) -> None:
+        self._entries = pcfg.jqt_entries
+        self._interval = pcfg.jump_interval
+        self._queues: dict[int, tuple[deque[int], int]] = {}
+        self._seq = 0
+        self.stats = JQTStats()
+
+    @property
+    def interval(self) -> int:
+        return self._interval
+
+    def advance(self, pc: int, addr: int) -> int | None:
+        """Record a committed instance of recurrent load ``pc`` with
+        effective address ``addr``.
+
+        Returns the *home* address a jump-pointer (home -> addr) should be
+        installed at, or None while the queue is still filling.
+        """
+        self._seq += 1
+        entry = self._queues.get(pc)
+        if entry is None:
+            if len(self._queues) >= self._entries:
+                victim = min(self._queues, key=lambda k: self._queues[k][1])
+                del self._queues[victim]
+                self.stats.entry_evictions += 1
+            q: deque[int] = deque(maxlen=self._interval)
+            self._queues[pc] = (q, self._seq)
+        else:
+            q, __ = entry
+            self._queues[pc] = (q, self._seq)
+        home = None
+        if len(q) == self._interval:
+            home = q[0]
+        q.append(addr)
+        if home is not None:
+            self.stats.installs += 1
+        return home
+
+    def feedback(self, pc: int, late: bool, early: bool) -> None:
+        """Timeliness feedback hook; the fixed-interval table ignores it
+        (see :class:`repro.prefetch.adaptive.AdaptiveJumpQueueTable`)."""
+
+
+class JumpPointerStorage:
+    """Where hardware-created jump-pointers live.
+
+    ``padding`` mode computes the slot from the effective address plus the
+    annotated size class and reads/writes the (timing-side) memory image —
+    the storage scales with the data structure and survives as long as the
+    nodes do.  ``onchip`` mode keeps an LRU table of ``capacity`` (home
+    block -> target) pairs, modelling the non-scalable on-chip alternative
+    the paper argues against.
+    """
+
+    def __init__(self, pcfg: PrefetchConfig) -> None:
+        self.onchip = pcfg.onchip_table_entries > 0
+        self._capacity = pcfg.onchip_table_entries
+        self._table: dict[int, tuple[int, int]] = {}
+        self._seq = 0
+
+    def store(self, timing_mem, home_addr: int, pad: int, target: int) -> int | None:
+        """Install jump-pointer home->target; returns the written memory
+        address in padding mode (for bandwidth accounting), else None."""
+        if self.onchip:
+            self._seq += 1
+            key = home_addr
+            if key not in self._table and len(self._table) >= self._capacity:
+                victim = min(self._table, key=lambda k: self._table[k][1])
+                del self._table[victim]
+            self._table[key] = (target, self._seq)
+            return None
+        if pad <= 0:
+            return None
+        slot = jump_slot(home_addr, pad)
+        timing_mem.store(slot, target)
+        return slot
+
+    def load(self, timing_mem, addr: int, pad: int) -> int | None:
+        """Retrieve the jump-pointer at the node containing ``addr``."""
+        if self.onchip:
+            hit = self._table.get(addr)
+            if hit is None:
+                return None
+            target, __ = hit
+            self._seq += 1
+            self._table[addr] = (target, self._seq)
+            return target
+        if pad <= 0:
+            return None
+        value = timing_mem.peek(jump_slot(addr, pad))
+        return value if isinstance(value, int) and value else None

@@ -1,0 +1,14 @@
+"""Workloads: the Olden benchmark suite on the mini-ISA."""
+
+from .base import BuiltProgram, Workload, parse_variant
+from .registry import get_workload, register, workload_class, workload_names
+
+__all__ = [
+    "BuiltProgram",
+    "Workload",
+    "get_workload",
+    "parse_variant",
+    "register",
+    "workload_class",
+    "workload_names",
+]

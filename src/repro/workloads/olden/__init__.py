@@ -1,0 +1,19 @@
+"""The ten Olden benchmark kernels (importing registers them)."""
+
+from . import (  # noqa: F401
+    bh,
+    bisort,
+    em3d,
+    health,
+    mst,
+    perimeter,
+    power,
+    treeadd,
+    tsp,
+    voronoi,
+)
+
+__all__ = [
+    "bh", "bisort", "em3d", "health", "mst",
+    "perimeter", "power", "treeadd", "tsp", "voronoi",
+]

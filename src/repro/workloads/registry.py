@@ -1,0 +1,50 @@
+"""Workload registry: name -> class, with lazy imports."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import WorkloadError
+from .base import Workload
+
+_REGISTRY: dict[str, type[Workload]] = {}
+
+
+def register(cls: type[Workload]) -> type[Workload]:
+    """Class decorator adding a workload to the registry."""
+    if not cls.name:
+        raise WorkloadError(f"workload class {cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise WorkloadError(f"duplicate workload name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def _ensure_loaded() -> None:
+    from . import olden, spmv  # noqa: F401  (imports register all workloads)
+
+
+def workload_names() -> list[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def get_workload(name: str, **params: Any) -> Workload:
+    _ensure_loaded()
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**params)
+
+
+def workload_class(name: str) -> type[Workload]:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,138 @@
+"""Set-associative cache model: LRU, eviction, dirty tracking."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig
+from repro.mem.cache import Cache
+
+
+def small_cache(assoc=2, sets=4, line=32):
+    return Cache(CacheConfig(size=line * assoc * sets, line=line, assoc=assoc, latency=1))
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert not c.access(0x100)
+        c.fill(0x100)
+        assert c.access(0x100)
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_same_line_different_words(self):
+        c = small_cache()
+        c.fill(0x100)
+        assert c.access(0x104)
+        assert c.access(0x11C)
+        assert not c.access(0x120)  # next line
+
+    def test_probe_does_not_touch_stats_or_lru(self):
+        c = small_cache()
+        c.fill(0x100)
+        before = (c.stats.accesses, c.stats.hits, c.stats.misses)
+        assert c.probe(0x100)
+        assert not c.probe(0x200)
+        assert (c.stats.accesses, c.stats.hits, c.stats.misses) == before
+
+    def test_lru_eviction_order(self):
+        c = small_cache(assoc=2, sets=1)
+        c.fill(0x000)
+        c.fill(0x020)
+        c.access(0x000)          # 0x000 is now MRU
+        evicted, __ = c.fill(0x040)
+        assert evicted == 0x020
+
+    def test_dirty_eviction_reported(self):
+        c = small_cache(assoc=1, sets=1)
+        c.fill(0x000, dirty=True)
+        evicted, dirty = c.fill(0x020)
+        assert evicted == 0x000 and dirty
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction(self):
+        c = small_cache(assoc=1, sets=1)
+        c.fill(0x000)
+        __, dirty = c.fill(0x020)
+        assert not dirty
+
+    def test_write_access_sets_dirty(self):
+        c = small_cache(assoc=1, sets=1)
+        c.fill(0x000)
+        c.access(0x000, write=True)
+        __, dirty = c.fill(0x020)
+        assert dirty
+
+    def test_invalidate(self):
+        c = small_cache()
+        c.fill(0x100, dirty=True)
+        assert c.invalidate(0x104)
+        assert not c.probe(0x100)
+        assert not c.invalidate(0x100)
+
+    def test_refill_existing_line_no_eviction(self):
+        c = small_cache(assoc=1, sets=1)
+        c.fill(0x000)
+        evicted, dirty = c.fill(0x000, dirty=True)
+        assert evicted is None
+        __, was_dirty = c.fill(0x020)
+        assert was_dirty  # the refill marked it dirty
+
+    def test_set_isolation(self):
+        c = small_cache(assoc=1, sets=4)
+        c.fill(0x000)
+        c.fill(0x020)  # different set
+        assert c.probe(0x000) and c.probe(0x020)
+
+
+class _ReferenceLRU:
+    """Oracle: per-set OrderedDict LRU."""
+
+    def __init__(self, assoc, sets, line):
+        self.assoc, self.sets, self.line = assoc, sets, line
+        self.data = [OrderedDict() for __ in range(sets)]
+
+    def _set(self, addr):
+        line = addr // self.line * self.line
+        return line, (addr // self.line) % self.sets
+
+    def access(self, addr):
+        line, s = self._set(addr)
+        if line in self.data[s]:
+            self.data[s].move_to_end(line)
+            return True
+        return False
+
+    def fill(self, addr):
+        line, s = self._set(addr)
+        if line in self.data[s]:
+            self.data[s].move_to_end(line)
+            return
+        if len(self.data[s]) >= self.assoc:
+            self.data[s].popitem(last=False)
+        self.data[s][line] = True
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1023), min_size=1, max_size=400))
+@settings(max_examples=60, deadline=None)
+def test_matches_reference_lru(addresses):
+    c = small_cache(assoc=2, sets=4)
+    ref = _ReferenceLRU(assoc=2, sets=4, line=32)
+    for raw in addresses:
+        addr = raw * 4
+        got = c.access(addr)
+        want = ref.access(addr)
+        assert got == want
+        if not got:
+            c.fill(addr)
+            ref.fill(addr)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=4095), min_size=1, max_size=500))
+@settings(max_examples=40, deadline=None)
+def test_capacity_never_exceeded(addresses):
+    c = small_cache(assoc=4, sets=8)
+    for raw in addresses:
+        c.fill(raw * 4)
+        assert c.resident_lines() <= 4 * 8

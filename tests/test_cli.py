@@ -1,0 +1,52 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.__main__ import _parse_params, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "health" in out and "treeadd" in out and "spmv" in out
+    assert "schemes:" in out
+
+
+def test_run_small(capsys):
+    assert main(["run", "power", "--small", "--scheme", "hardware"]) == 0
+    out = capsys.readouterr().out
+    assert "hardware" in out and "cycles" in out
+
+
+def test_run_with_params_and_idiom(capsys):
+    assert main([
+        "run", "health", "--small", "--scheme", "software", "--idiom", "root",
+        "--param", "iterations=2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "sw:root" in out
+
+
+def test_machine_overrides(capsys):
+    assert main([
+        "--memory-latency", "140", "--interval", "4",
+        "run", "treeadd", "--small",
+    ]) == 0
+
+
+def test_parse_params_types():
+    assert _parse_params(["a=1", "b=1.5", "c=x"]) == {"a": 1, "b": 1.5, "c": "x"}
+    with pytest.raises(SystemExit):
+        _parse_params(["oops"])
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "nope"])
+
+
+def test_figure_commands_parse():
+    parser = build_parser()
+    for fig in ("table1", "figure4", "figure5", "figure6", "figure7"):
+        args = parser.parse_args([fig])
+        assert args.command == fig

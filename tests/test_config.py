@@ -1,0 +1,112 @@
+"""Machine configuration validation and derived quantities."""
+
+import pytest
+
+from repro import ConfigError, MachineConfig, bench_config, small_config, table2_config
+from repro.config import BusConfig, CacheConfig, TLBConfig
+
+
+class TestCacheConfig:
+    def test_sets_derived(self):
+        c = CacheConfig(size=64 * 1024, line=32, assoc=2, latency=1)
+        assert c.sets == 1024
+
+    def test_direct_mapped(self):
+        c = CacheConfig(size=1024, line=32, assoc=1, latency=1)
+        assert c.sets == 32
+
+    def test_fully_associative(self):
+        c = CacheConfig(size=2048, line=32, assoc=64, latency=1)
+        assert c.sets == 1
+
+    @pytest.mark.parametrize("size", [0, -1, 100, 3000])
+    def test_rejects_non_power_of_two_size(self, size):
+        with pytest.raises(ConfigError):
+            CacheConfig(size=size, line=32, assoc=2, latency=1)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size=1024, line=24, assoc=2, latency=1)
+
+    def test_rejects_bad_assoc(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size=1024, line=32, assoc=0, latency=1)
+
+    def test_rejects_indivisible_geometry(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size=1024, line=32, assoc=64, latency=1)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size=1024, line=32, assoc=2, latency=-1)
+
+
+class TestBusConfig:
+    def test_full_line_transfer(self):
+        bus = BusConfig(width=8, clock_divisor=2)
+        assert bus.cycles_for(32) == 8  # 4 beats at 2 core cycles each
+
+    def test_partial_beat_rounds_up(self):
+        bus = BusConfig(width=8, clock_divisor=4)
+        assert bus.cycles_for(4) == 4
+
+    def test_memory_bus_line(self):
+        bus = BusConfig(width=8, clock_divisor=4)
+        assert bus.cycles_for(64) == 32
+
+
+class TestTLBConfig:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigError):
+            TLBConfig(entries=0)
+
+    def test_rejects_bad_page(self):
+        with pytest.raises(ConfigError):
+            TLBConfig(entries=16, page_size=1000)
+
+
+class TestMachineConfig:
+    def test_table2_defaults(self):
+        cfg = table2_config()
+        assert cfg.dl1.size == 64 * 1024
+        assert cfg.dl1.line == 32
+        assert cfg.l2.size == 512 * 1024
+        assert cfg.l2.latency == 12
+        assert cfg.memory_latency == 70
+        assert cfg.max_outstanding_misses == 8
+        assert cfg.window == 64
+        assert cfg.lsq_entries == 32
+        assert cfg.fetch_width == cfg.issue_width == cfg.commit_width == 4
+        assert cfg.dtlb.entries == 32
+        assert cfg.itlb.entries == 16
+        assert cfg.prefetch.jqt_entries == 32
+        assert cfg.prefetch.jump_interval == 8
+        assert cfg.prefetch.prq_entries == 8
+        assert cfg.prefetch.prefetch_buffer.size == 2048
+
+    def test_with_memory_latency(self):
+        cfg = MachineConfig().with_memory_latency(280)
+        assert cfg.memory_latency == 280
+        assert MachineConfig().memory_latency == 70  # original untouched
+
+    def test_with_jump_interval(self):
+        cfg = MachineConfig().with_jump_interval(16)
+        assert cfg.prefetch.jump_interval == 16
+
+    def test_perfect_flag(self):
+        cfg = MachineConfig().perfect()
+        assert cfg.perfect_data_memory
+        assert not MachineConfig().perfect_data_memory
+
+    def test_scaled_configs_keep_shape(self):
+        for cfg in (small_config(), bench_config()):
+            assert cfg.dl1.line == 32
+            assert cfg.l2.line == 64
+            assert cfg.l2.latency == 12
+            assert cfg.memory_latency == 70
+            assert cfg.dl1.size < cfg.l2.size or cfg is small_config()
+
+    def test_frozen(self):
+        cfg = MachineConfig()
+        with pytest.raises(Exception):
+            cfg.memory_latency = 100  # type: ignore[misc]

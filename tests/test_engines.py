@@ -1,0 +1,208 @@
+"""Prefetch engines on controlled programs."""
+
+import pytest
+
+from repro import Assembler, simulate
+from repro.cpu import make_engine
+from repro.cpu.timing import TimingModel
+from repro.isa.registers import A0, T0, T1, T2, ZERO
+
+from tests.conftest import assemble_list_walk
+
+
+def walk_twice(n: int, use_jpf: bool = False, jp_off: int = 8):
+    """Build an n-node list ({value@0, next@4, [jp@8]}) with jump-pointers
+    baked by software at build time, then walk it twice."""
+    a = Assembler()
+    res = a.word(0)
+    head = a.word(0)
+    tail_tab = a.space(n)  # creation-order node table for jp install
+    a.label("main")
+    a.li(T0, n)
+    a.label("build")
+    a.beqz(T0, "link_jp")
+    a.alloc(T1, ZERO, 12)
+    a.sw(T0, T1, 0)
+    a.li(A0, head)
+    a.lw(T2, A0, 0)
+    a.sw(T2, T1, 4)
+    a.sw(T1, A0, 0)
+    # record address by index (descending creation)
+    a.slli(T2, T0, 2)
+    a.addi(T2, T2, tail_tab - 4)
+    a.sw(T1, T2, 0)
+    a.addi(T0, T0, -1)
+    a.j("build")
+    # install jump-pointers 4 ahead in traversal (ascending) order
+    a.label("link_jp")
+    a.li(T0, 0)
+    a.label("jp_loop")
+    a.li(T1, n - 4)
+    a.bge(T0, T1, "walks")
+    a.slli(T1, T0, 2)
+    a.addi(T1, T1, tail_tab)
+    a.lw(T2, T1, 0)       # node i
+    a.lw(T1, T1, 16)      # node i+4
+    a.sw(T1, T2, jp_off)
+    a.addi(T0, T0, 1)
+    a.j("jp_loop")
+    a.label("walks")
+    for w in range(2):
+        a.li(T0, 0)
+        a.li(A0, head)
+        a.lw(T1, A0, 0, tag="lds")
+        a.label(f"wloop{w}")
+        a.beqz(T1, f"done{w}")
+        if use_jpf:
+            a.jpf(T1, jp_off)
+        a.lw(T2, T1, 0, pad=16, tag="lds")
+        a.add(T0, T0, T2)
+        a.lw(T1, T1, 4, pad=16, tag="lds")
+        a.j(f"wloop{w}")
+        a.label(f"done{w}")
+    a.li(A0, res)
+    a.sw(T0, A0, 0)
+    a.halt()
+    return a.assemble("walk_twice"), res
+
+
+class TestSoftwareEngine:
+    def test_pf_fills_l1(self, tiny_cfg):
+        a = Assembler()
+        target = a.space(16)
+        a.label("main")
+        a.li(T0, target)
+        a.pf(T0, 0)
+        for __ in range(40):  # give the prefetch time to land
+            a.nop()
+        a.lw(T1, T0, 0)
+        a.halt()
+        res = simulate(a.assemble(), tiny_cfg, engine="software")
+        assert res.engine.sw_prefetches == 1
+        assert res.hierarchy.prefetches_useful >= 1
+
+    def test_baseline_engine_ignores_pf(self, tiny_cfg):
+        a = Assembler()
+        target = a.space(16)
+        a.label("main")
+        a.li(T0, target)
+        a.pf(T0, 0)
+        a.halt()
+        res = simulate(a.assemble(), tiny_cfg, engine="none")
+        assert res.hierarchy.prefetches_requested == 0
+
+
+class TestDBPEngine:
+    def test_learns_list_dependences(self, tiny_cfg):
+        program, __ = assemble_list_walk(48)
+        engine = make_engine("dbp", tiny_cfg)
+        TimingModel(program, tiny_cfg, engine).run()
+        assert engine.stats.correlations_learned >= 2
+        assert engine.recurrent_pcs  # next-pointer load is self-recurrent
+
+    def test_chained_prefetches_issued(self, tiny_cfg):
+        program, __ = assemble_list_walk(48)
+        res = simulate(program, tiny_cfg, engine="dbp")
+        assert res.engine.chained_prefetches > 0
+        assert res.hierarchy.prefetches_useful > 0
+
+    def test_budget_bounds_single_trigger(self, tiny_cfg):
+        engine = make_engine("dbp", tiny_cfg)
+        program, __ = assemble_list_walk(8)
+        model = TimingModel(program, tiny_cfg, engine)
+        model.run()
+        # artificial wide fan-out: one producer with many consumers
+        for c in range(40):
+            engine.predictor.learn(9999, 5000 + c, 4 * c)
+        before = engine.stats.chained_prefetches
+        engine._trigger(9999, 0x2000_0000, 10_000_000)
+        assert engine.stats.chained_prefetches - before <= engine.CHASE_BUDGET
+
+
+class TestCooperativeEngine:
+    def test_jpf_triggers_jump_prefetch(self, tiny_cfg):
+        program, res = walk_twice(40, use_jpf=True)
+        r = simulate(program, tiny_cfg, engine="cooperative")
+        assert r.engine.jump_prefetches > 0
+
+    def test_jpf_invalid_pointer_counted(self, tiny_cfg):
+        a = Assembler()
+        w = a.word(0)  # jump-pointer slot holds 0 -> invalid
+        a.label("main")
+        a.li(T0, w)
+        a.jpf(T0, 0)
+        a.halt()
+        r = simulate(a.assemble(), tiny_cfg, engine="cooperative")
+        assert r.engine.jp_invalid == 1
+
+    def test_correlator_learns_jpf_consumers(self, tiny_cfg):
+        program, __ = walk_twice(40, use_jpf=True)
+        engine = make_engine("cooperative", tiny_cfg)
+        TimingModel(program, tiny_cfg, engine).run()
+        from repro.isa.opcodes import Op
+
+        jpf_pcs = [i.index for i in program.instructions if i.op is Op.JPF]
+        assert any(engine.predictor.lookup_quiet(pc) for pc in jpf_pcs)
+
+
+class TestHardwareEngine:
+    def test_installs_and_uses_jump_pointers(self, tiny_cfg):
+        program, __ = walk_twice(48, use_jpf=False)
+        engine = make_engine("hardware", tiny_cfg)
+        res = TimingModel(program, tiny_cfg, engine).run()
+        assert engine.stats.jp_stores > 0          # queue method ran
+        assert engine.jqt.stats.installs > 0
+        assert engine.stats.jump_prefetches > 0    # second walk used them
+
+    def test_no_padding_no_jump_pointers(self, tiny_cfg):
+        # Nodes allocated at exactly a class size: no padding anywhere.
+        a = Assembler()
+        head = a.word(0)
+        a.label("main")
+        a.li(T0, 32)
+        a.label("build")
+        a.beqz(T0, "walk")
+        a.alloc(T1, ZERO, 8)  # {value, next}: 8 bytes = the full class
+        a.sw(T0, T1, 0)
+        a.li(A0, head)
+        a.lw(T2, A0, 0)
+        a.sw(T2, T1, 4)
+        a.sw(T1, A0, 0)
+        a.addi(T0, T0, -1)
+        a.j("build")
+        a.label("walk")
+        a.li(A0, head)
+        a.lw(T1, A0, 0, tag="lds")
+        a.label("wloop")
+        a.beqz(T1, "done")
+        a.lw(T1, T1, 4, tag="lds")  # pad=0: unannotated
+        a.j("wloop")
+        a.label("done")
+        a.halt()
+        engine = make_engine("hardware", tiny_cfg)
+        TimingModel(a.assemble(), tiny_cfg, engine).run()
+        assert engine.stats.jp_stores == 0
+        assert engine.stats.jump_prefetches == 0
+
+    def test_hardware_speeds_up_second_walk(self, tiny_cfg):
+        program, __ = walk_twice(64)
+        base = simulate(program, tiny_cfg, engine="none")
+        hw = simulate(program, tiny_cfg, engine="hardware")
+        assert hw.cycles < base.cycles
+
+
+class TestEngineFactory:
+    @pytest.mark.parametrize(
+        "name,pb", [("none", False), ("software", False), ("dbp", True),
+                    ("cooperative", True), ("hardware", True)]
+    )
+    def test_engine_kinds(self, tiny_cfg, name, pb):
+        eng = make_engine(name, tiny_cfg)
+        assert eng.name == name
+        assert eng.uses_prefetch_buffer == pb
+
+    def test_unknown_engine_rejected(self, tiny_cfg):
+        from repro import ConfigError
+
+        with pytest.raises(ConfigError):
+            make_engine("magic", tiny_cfg)

@@ -1,0 +1,85 @@
+"""JPP framework: idioms, implementations, interval rule, characterization."""
+
+import pytest
+
+from repro import Idiom, recommended_interval
+from repro.core import COOPERATIVE, HARDWARE, IMPLEMENTATIONS, SOFTWARE
+from repro.core.characterization import CharacterizationRow
+
+
+class TestIdioms:
+    def test_all_four_idioms(self):
+        assert {i.value for i in Idiom} == {"queue", "full", "chain", "root"}
+
+    def test_chained_prefetch_usage(self):
+        assert Idiom.CHAIN.uses_chained_prefetches
+        assert Idiom.ROOT.uses_chained_prefetches
+        assert not Idiom.QUEUE.uses_chained_prefetches
+        assert not Idiom.FULL.uses_chained_prefetches
+
+    def test_storage_cost(self):
+        assert Idiom.FULL.jump_pointers_per_node == 2
+        assert Idiom.CHAIN.jump_pointers_per_node == 1
+        assert Idiom.QUEUE.jump_pointers_per_node == 1
+        assert Idiom.ROOT.jump_pointers_per_node == 0
+
+
+class TestImplementations:
+    def test_division_of_labour(self):
+        assert not SOFTWARE.jump_prefetch_in_hardware
+        assert not SOFTWARE.chained_prefetch_in_hardware
+        assert not COOPERATIVE.jump_prefetch_in_hardware
+        assert COOPERATIVE.chained_prefetch_in_hardware
+        assert HARDWARE.jump_prefetch_in_hardware
+        assert HARDWARE.chained_prefetch_in_hardware
+
+    def test_registry(self):
+        assert set(IMPLEMENTATIONS) == {"software", "cooperative", "hardware"}
+
+
+class TestIntervalRule:
+    def test_paper_example(self):
+        # Section 2.1: 10 cycles of work, 40-cycle access -> 4 nodes ahead
+        assert recommended_interval(10, 40) == 4
+
+    def test_chain_jumping_doubles(self):
+        # Section 2.2: full jumping at 2, chain jumping (serial hops) at 4
+        assert recommended_interval(10, 20, serial_hops=1) == 2
+        assert recommended_interval(10, 20, serial_hops=2) == 4
+
+    def test_minimum_one(self):
+        assert recommended_interval(100, 1) == 1
+
+    def test_rejects_zero_work(self):
+        with pytest.raises(ValueError):
+            recommended_interval(0, 40)
+
+
+class TestCharacterization:
+    def test_row_as_dict_keys(self):
+        row = CharacterizationRow(
+            name="x", instructions=10, loads=5, lds_load_fraction=0.5,
+            l1d_miss_ratio=0.1, lds_miss_fraction=0.9, miss_parallelism=1.5,
+            memory_fraction=0.6, structure="list", idioms=("queue",),
+        )
+        d = row.as_dict()
+        assert d["benchmark"] == "x"
+        assert d["%lds loads"] == 50.0
+        assert d["idioms"] == "queue"
+
+    def test_characterize_small_workload(self):
+        from repro import get_workload, small_config
+        from repro.core import characterize
+        from repro.workloads import workload_class
+
+        w = get_workload("treeadd", **workload_class("treeadd").test_params())
+        built = w.build("baseline")
+        row, result = characterize(
+            "treeadd", built.program, small_config(),
+            structure=w.structure, idioms=w.idioms,
+        )
+        assert 0.0 <= row.lds_load_fraction <= 1.0
+        assert 0.0 <= row.l1d_miss_ratio <= 1.0
+        assert 0.0 <= row.memory_fraction < 1.0
+        assert row.miss_parallelism >= 0.0
+        assert result.instructions == row.instructions

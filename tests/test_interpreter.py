@@ -1,0 +1,260 @@
+"""Functional interpreter semantics."""
+
+import pytest
+
+from repro import Assembler, ExecutionError, Interpreter, run_to_completion
+from repro.isa.registers import A0, T0, T1, T2, V0, ZERO
+
+
+def _run_expr(emit):
+    """Assemble `emit(a)` (leaving result in T2), run, return T2."""
+    a = Assembler()
+    a.label("main")
+    emit(a)
+    a.halt()
+    return run_to_completion(a.assemble()).registers[T2]
+
+
+class TestIntegerOps:
+    @pytest.mark.parametrize(
+        "op,x,y,expected",
+        [
+            ("add", 5, 7, 12),
+            ("sub", 5, 7, -2),
+            ("mul", -3, 4, -12),
+            ("and_", 0b1100, 0b1010, 0b1000),
+            ("or_", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("sll", 3, 4, 48),
+            ("srl", 48, 4, 3),
+            ("slt", 3, 4, 1),
+            ("slt", 4, 3, 0),
+        ],
+    )
+    def test_rr_ops(self, op, x, y, expected):
+        def emit(a):
+            a.li(T0, x)
+            a.li(T1, y)
+            getattr(a, op)(T2, T0, T1)
+
+        assert _run_expr(emit) == expected
+
+    @pytest.mark.parametrize(
+        "op,x,imm,expected",
+        [
+            ("addi", 10, -3, 7),
+            ("andi", 0xFF, 0x0F, 0x0F),
+            ("ori", 0xF0, 0x0F, 0xFF),
+            ("xori", 0xFF, 0x0F, 0xF0),
+            ("slli", 1, 10, 1024),
+            ("srli", 1024, 10, 1),
+            ("slti", 2, 5, 1),
+            ("slti", 5, 2, 0),
+        ],
+    )
+    def test_ri_ops(self, op, x, imm, expected):
+        def emit(a):
+            a.li(T0, x)
+            getattr(a, op)(T2, T0, imm)
+
+        assert _run_expr(emit) == expected
+
+    def test_div_truncates_toward_zero(self):
+        def emit(a):
+            a.li(T0, -7)
+            a.li(T1, 2)
+            a.div(T2, T0, T1)
+
+        assert _run_expr(emit) == -3
+
+    def test_rem_matches_c_semantics(self):
+        def emit(a):
+            a.li(T0, -7)
+            a.li(T1, 2)
+            a.rem(T2, T0, T1)
+
+        assert _run_expr(emit) == -1
+
+    def test_div_by_zero_raises(self):
+        a = Assembler()
+        a.label("main")
+        a.li(T0, 1)
+        a.div(T2, T0, ZERO)
+        a.halt()
+        with pytest.raises(ExecutionError, match="division"):
+            run_to_completion(a.assemble())
+
+
+class TestFloatOps:
+    @pytest.mark.parametrize(
+        "op,x,y,expected",
+        [
+            ("fadd", 1.5, 2.25, 3.75),
+            ("fsub", 1.5, 2.25, -0.75),
+            ("fmul", 1.5, 2.0, 3.0),
+            ("fdiv", 3.0, 2.0, 1.5),
+            ("flt", 1.0, 2.0, 1),
+            ("flt", 2.0, 1.0, 0),
+            ("fle", 2.0, 2.0, 1),
+            ("feq", 2.0, 2.0, 1),
+            ("feq", 2.0, 2.5, 0),
+        ],
+    )
+    def test_binary(self, op, x, y, expected):
+        def emit(a):
+            a.fli(T0, x)
+            a.fli(T1, y)
+            getattr(a, op)(T2, T0, T1)
+
+        assert _run_expr(emit) == expected
+
+    def test_fsqrt(self):
+        def emit(a):
+            a.fli(T0, 6.25)
+            a.fsqrt(T2, T0)
+
+        assert _run_expr(emit) == 2.5
+
+    def test_fsqrt_negative_raises(self):
+        a = Assembler()
+        a.label("main")
+        a.fli(T0, -1.0)
+        a.fsqrt(T2, T0)
+        a.halt()
+        with pytest.raises(ExecutionError, match="FSQRT"):
+            run_to_completion(a.assemble())
+
+    def test_conversions(self):
+        def emit(a):
+            a.li(T0, 7)
+            a.i2f(T1, T0)
+            a.fli(T0, 0.5)
+            a.fadd(T1, T1, T0)
+            a.f2i(T2, T1)
+
+        assert _run_expr(emit) == 7
+
+
+class TestMemoryAndControl:
+    def test_store_load_roundtrip(self):
+        a = Assembler()
+        buf = a.space(4)
+        a.label("main")
+        a.li(T0, buf)
+        a.li(T1, 1234)
+        a.sw(T1, T0, 8)
+        a.lw(T2, T0, 8)
+        a.halt()
+        interp = run_to_completion(a.assemble())
+        assert interp.registers[T2] == 1234
+        assert interp.memory.load(buf + 8) == 1234
+
+    def test_uninitialized_memory_reads_zero(self):
+        a = Assembler()
+        buf = a.space(1)
+        a.label("main")
+        a.li(T0, buf)
+        a.lw(T2, T0, 0)
+        a.halt()
+        assert run_to_completion(a.assemble()).registers[T2] == 0
+
+    def test_misaligned_load_raises(self):
+        a = Assembler()
+        a.label("main")
+        a.li(T0, 0x1000_0002)
+        a.lw(T2, T0, 0)
+        a.halt()
+        with pytest.raises(ExecutionError, match="misaligned"):
+            run_to_completion(a.assemble())
+
+    def test_zero_register_immutable(self):
+        a = Assembler()
+        a.label("main")
+        a.li(ZERO, 99)
+        a.add(T2, ZERO, ZERO)
+        a.halt()
+        assert run_to_completion(a.assemble()).registers[T2] == 0
+
+    def test_alloc_returns_distinct_blocks(self):
+        a = Assembler()
+        a.label("main")
+        a.alloc(T0, ZERO, 12)
+        a.alloc(T1, ZERO, 12)
+        a.sub(T2, T1, T0)
+        a.halt()
+        assert run_to_completion(a.assemble()).registers[T2] == 16
+
+    def test_prefetch_is_functionally_inert(self):
+        a = Assembler()
+        w = a.word(5)
+        a.label("main")
+        a.li(T0, w)
+        a.pf(T0, 0)
+        a.jpf(T0, 0)
+        a.lw(T2, T0, 0)
+        a.halt()
+        assert run_to_completion(a.assemble()).registers[T2] == 5
+
+    def test_taken_and_not_taken_branches(self):
+        a = Assembler()
+        a.label("main")
+        a.li(T0, 5)
+        a.li(T2, 0)
+        a.beq(T0, ZERO, "skip")  # not taken
+        a.addi(T2, T2, 1)
+        a.bne(T0, ZERO, "over")  # taken
+        a.addi(T2, T2, 100)
+        a.label("over")
+        a.addi(T2, T2, 10)
+        a.label("skip")
+        a.halt()
+        assert run_to_completion(a.assemble()).registers[T2] == 11
+
+    def test_infinite_loop_hits_budget(self):
+        a = Assembler()
+        a.label("main")
+        a.j("main")
+        a.halt()
+        interp = Interpreter(a.assemble(), max_steps=1000)
+        with pytest.raises(ExecutionError, match="budget"):
+            for __ in interp.run():
+                pass
+
+    def test_pc_out_of_range_raises(self):
+        a = Assembler()
+        a.label("main")
+        a.li(T0, 999)
+        a.jr(T0)
+        a.halt()
+        with pytest.raises(ExecutionError, match="outside text"):
+            run_to_completion(a.assemble())
+
+    def test_recursion_fibonacci(self):
+        a = Assembler()
+        res = a.word(0)
+        a.label("main")
+        a.li(A0, 10)
+        a.jal("fib")
+        a.li(T0, res)
+        a.sw(V0, T0, 0)
+        a.halt()
+        from repro.isa.registers import RA, S0, S1
+
+        a.label("fib")
+        a.slti(T0, A0, 2)
+        a.beqz(T0, "fib_rec")
+        a.mov(V0, A0)
+        a.ret()
+        a.label("fib_rec")
+        a.push(RA, S0, S1)
+        a.mov(S0, A0)
+        a.addi(A0, S0, -1)
+        a.jal("fib")
+        a.mov(S1, V0)
+        a.addi(A0, S0, -2)
+        a.jal("fib")
+        a.add(V0, V0, S1)
+        a.pop(RA, S0, S1)
+        a.ret()
+        interp = run_to_completion(a.assemble())
+        assert interp.memory.load(res) == 55

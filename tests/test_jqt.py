@@ -1,0 +1,87 @@
+"""Jump Queue Table and jump-pointer storage."""
+
+from repro.config import PrefetchConfig
+from repro.mem.memory_image import MemoryImage
+from repro.prefetch.jqt import JumpPointerStorage, JumpQueueTable
+
+
+def make_jqt(entries=4, interval=4):
+    return JumpQueueTable(PrefetchConfig(jqt_entries=entries, jump_interval=interval))
+
+
+class TestJumpQueueTable:
+    def test_home_is_interval_back(self):
+        jqt = make_jqt(interval=4)
+        addrs = [0x1000 + 16 * i for i in range(10)]
+        homes = [jqt.advance(7, a) for a in addrs]
+        # first `interval` advances only fill the queue
+        assert homes[:4] == [None] * 4
+        # afterwards, home(i) == addr(i - interval)
+        for i in range(4, 10):
+            assert homes[i] == addrs[i - 4]
+
+    def test_independent_queues_per_pc(self):
+        jqt = make_jqt(interval=2)
+        jqt.advance(1, 0x100)
+        jqt.advance(2, 0x900)
+        jqt.advance(1, 0x110)
+        assert jqt.advance(1, 0x120) == 0x100
+        jqt.advance(2, 0x910)
+        assert jqt.advance(2, 0x920) == 0x900
+
+    def test_entry_eviction_lru(self):
+        jqt = make_jqt(entries=2, interval=2)
+        jqt.advance(1, 0x100)
+        jqt.advance(2, 0x200)
+        jqt.advance(1, 0x110)   # refresh pc 1
+        jqt.advance(3, 0x300)   # evicts pc 2
+        assert jqt.stats.entry_evictions == 1
+        # pc 2's queue restarted from scratch
+        jqt.advance(2, 0x210)
+        assert jqt.advance(2, 0x220) is None
+
+    def test_install_stats(self):
+        jqt = make_jqt(interval=2)
+        for i in range(5):
+            jqt.advance(1, 0x100 + 16 * i)
+        assert jqt.stats.installs == 3
+
+
+class TestPaddingStorage:
+    def test_store_then_load_roundtrip(self):
+        storage = JumpPointerStorage(PrefetchConfig())
+        mem = MemoryImage()
+        home = 0x2000_0010  # inside a 16-byte block at 0x2000_0010
+        slot = storage.store(mem, home, 16, 0x2000_0400)
+        assert slot == 0x2000_001C
+        assert storage.load(mem, home + 4, 16) == 0x2000_0400
+
+    def test_no_padding_no_store(self):
+        storage = JumpPointerStorage(PrefetchConfig())
+        assert storage.store(MemoryImage(), 0x2000_0000, 0, 0x99) is None
+        assert storage.load(MemoryImage(), 0x2000_0000, 0) is None
+
+    def test_empty_slot_loads_none(self):
+        storage = JumpPointerStorage(PrefetchConfig())
+        assert storage.load(MemoryImage(), 0x2000_0010, 16) is None
+
+
+class TestOnChipStorage:
+    def test_roundtrip(self):
+        storage = JumpPointerStorage(PrefetchConfig(onchip_table_entries=8))
+        assert storage.onchip
+        mem = MemoryImage()
+        assert storage.store(mem, 0x100, 16, 0x500) is None  # no memory write
+        assert storage.load(mem, 0x100, 16) == 0x500
+        assert len(mem) == 0
+
+    def test_capacity_eviction(self):
+        storage = JumpPointerStorage(PrefetchConfig(onchip_table_entries=2))
+        mem = MemoryImage()
+        storage.store(mem, 0x100, 16, 1)
+        storage.store(mem, 0x200, 16, 2)
+        storage.load(mem, 0x100, 16)      # refresh
+        storage.store(mem, 0x300, 16, 3)  # evicts 0x200
+        assert storage.load(mem, 0x100, 16) == 1
+        assert storage.load(mem, 0x200, 16) is None
+        assert storage.load(mem, 0x300, 16) == 3

@@ -1,0 +1,48 @@
+"""Sparse memory image semantics."""
+
+import pytest
+
+from repro import ExecutionError
+from repro.mem.memory_image import MemoryImage
+
+
+def test_uninitialized_reads_zero():
+    assert MemoryImage().load(0x1000) == 0
+
+
+def test_store_load_roundtrip():
+    m = MemoryImage()
+    m.store(0x1000, 42)
+    m.store(0x1004, 2.5)
+    assert m.load(0x1000) == 42
+    assert m.load(0x1004) == 2.5
+
+
+def test_initial_contents():
+    m = MemoryImage({0x100: 7})
+    assert m.load(0x100) == 7
+    assert 0x100 in m
+    assert len(m) == 1
+
+
+@pytest.mark.parametrize("addr", [0x1001, 0x1002, 0x1003, -4])
+def test_misaligned_or_negative_rejected(addr):
+    m = MemoryImage()
+    with pytest.raises(ExecutionError):
+        m.load(addr)
+    with pytest.raises(ExecutionError):
+        m.store(addr, 1)
+
+
+def test_peek_skips_checks():
+    m = MemoryImage()
+    assert m.peek(0x1001) == 0  # no error
+
+
+def test_copy_is_independent():
+    m = MemoryImage({0x100: 1})
+    c = m.copy()
+    c.store(0x100, 2)
+    c.store(0x104, 3)
+    assert m.load(0x100) == 1
+    assert m.load(0x104) == 0

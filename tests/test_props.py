@@ -1,0 +1,152 @@
+"""Property-based tests on ISA semantics and workload mirrors."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Assembler, run_to_completion
+from repro.isa.registers import T0, T1, T2
+from repro.workloads.olden.common import LCG_MASK, emit_lcg, frand, lcg
+
+ints = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+small_ints = st.integers(min_value=-1000, max_value=1000)
+
+
+def _binop(op_name, x, y):
+    a = Assembler()
+    a.label("main")
+    a.li(T0, x)
+    a.li(T1, y)
+    getattr(a, op_name)(T2, T0, T1)
+    a.halt()
+    return run_to_completion(a.assemble()).registers[T2]
+
+
+class TestAluSemantics:
+    @given(ints, ints)
+    @settings(max_examples=40, deadline=None)
+    def test_add_matches_python(self, x, y):
+        assert _binop("add", x, y) == x + y
+
+    @given(ints, ints)
+    @settings(max_examples=40, deadline=None)
+    def test_sub_matches_python(self, x, y):
+        assert _binop("sub", x, y) == x - y
+
+    @given(small_ints, small_ints)
+    @settings(max_examples=40, deadline=None)
+    def test_mul_matches_python(self, x, y):
+        assert _binop("mul", x, y) == x * y
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_bitwise_match_python(self, x, y):
+        assert _binop("and_", x, y) == x & y
+        assert _binop("or_", x, y) == x | y
+        assert _binop("xor", x, y) == x ^ y
+
+    @given(ints, ints)
+    @settings(max_examples=40, deadline=None)
+    def test_slt_matches_python(self, x, y):
+        assert _binop("slt", x, y) == int(x < y)
+
+    @given(ints, st.integers(min_value=-500, max_value=500).filter(lambda v: v))
+    @settings(max_examples=40, deadline=None)
+    def test_div_rem_identity(self, x, y):
+        q = _binop("div", x, y)
+        r = _binop("rem", x, y)
+        assert q * y + r == x
+        assert abs(r) < abs(y)
+
+
+class TestFloatSemantics:
+    floats = st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    )
+
+    @given(floats, floats)
+    @settings(max_examples=40, deadline=None)
+    def test_fp_ops_bit_exact(self, x, y):
+        a = Assembler()
+        a.label("main")
+        a.fli(T0, x)
+        a.fli(T1, y)
+        a.fadd(T2, T0, T1)
+        a.halt()
+        assert run_to_completion(a.assemble()).registers[T2] == x + y
+
+
+class TestLcg:
+    @given(st.integers(min_value=0, max_value=LCG_MASK))
+    @settings(max_examples=40, deadline=None)
+    def test_emitted_lcg_matches_mirror(self, seed):
+        a = Assembler()
+        a.label("main")
+        a.li(T0, seed)
+        emit_lcg(a, T0, T1)
+        a.halt()
+        assert run_to_completion(a.assemble()).registers[T0] == lcg(seed)
+
+    @given(st.integers(min_value=0, max_value=LCG_MASK))
+    @settings(max_examples=50, deadline=None)
+    def test_lcg_stays_in_range(self, seed):
+        assert 0 <= lcg(seed) <= LCG_MASK
+
+    @given(st.integers(min_value=0, max_value=LCG_MASK))
+    @settings(max_examples=50, deadline=None)
+    def test_frand_in_unit_interval(self, seed):
+        value, new_seed = frand(seed)
+        assert 0.0 <= value < 1.0
+        assert new_seed == lcg(seed)
+
+
+class TestWorkloadMirrors:
+    @given(st.integers(min_value=1, max_value=7), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=15, deadline=None)
+    def test_treeadd_any_size(self, levels, passes):
+        from repro.workloads.olden.treeadd import TreeAdd
+
+        w = TreeAdd(levels=levels, passes=passes, interval=2)
+        built = w.build("baseline")
+        interp = run_to_completion(built.program)
+        built.verify(interp)
+
+    @given(st.integers(min_value=5, max_value=14))
+    @settings(max_examples=8, deadline=None)
+    def test_mst_any_size_matches_networkx(self, n):
+        import networkx as nx
+
+        from repro.workloads.olden.mst import edge_weight, mirror
+
+        G = nx.Graph()
+        for u in range(n):
+            for v in range(u + 1, n):
+                G.add_edge(u, v, weight=edge_weight(u, v))
+        T = nx.minimum_spanning_tree(G)
+        assert mirror(n, 4) == sum(d["weight"] for *__, d in T.edges(data=True))
+
+    @given(
+        st.integers(min_value=2, max_value=3),
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_health_kernel_matches_mirror(self, levels, npat, iterations):
+        from repro.workloads.olden.health import Health
+
+        w = Health(
+            levels=levels, branching=2, npat=npat,
+            iterations=iterations, interval=2,
+        )
+        built = w.build("sw:chain")
+        interp = run_to_completion(built.program)
+        built.verify(interp)
+
+    @given(st.integers(min_value=8, max_value=32))
+    @settings(max_examples=8, deadline=None)
+    def test_tsp_kernel_matches_mirror(self, n):
+        from repro.workloads.olden.tsp import TSP
+
+        w = TSP(n=n, interval=4)
+        built = w.build("baseline")
+        interp = run_to_completion(built.program)
+        built.verify(interp)

@@ -1,0 +1,36 @@
+"""Text-table reporting."""
+
+from repro.harness import format_table, normalized_bar
+
+
+def test_format_table_alignment():
+    rows = [
+        {"name": "alpha", "value": 1.0},
+        {"name": "b", "value": 123.456},
+    ]
+    text = format_table(rows, title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "alpha" in lines[3]
+    assert "123.456" in lines[4]
+    # column alignment: 'value' column starts at the same offset everywhere
+    col = lines[1].index("value")
+    assert lines[3][col - 1] == " "
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([])
+    assert format_table([], title="X").startswith("X")
+
+
+def test_float_formatting():
+    text = format_table([{"x": 0.123456}])
+    assert "0.123" in text
+
+
+def test_normalized_bar():
+    assert normalized_bar(1.0, scale=10) == "#" * 10
+    assert normalized_bar(0.5, scale=10) == "#" * 5
+    assert normalized_bar(0.0) == ""
+    assert len(normalized_bar(100.0, scale=10)) == 20  # clamped

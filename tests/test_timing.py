@@ -1,0 +1,219 @@
+"""Out-of-order timing model behaviour on controlled programs."""
+
+from repro import Assembler, simulate, simulate_decomposed
+from repro.cpu.timing import TimingModel, heap_range
+from repro.isa.program import HEAP_BASE
+from repro.isa.registers import A0, T0, T1, T2, T3, T4, T5, ZERO
+
+from tests.conftest import assemble_list_walk, assemble_loop_sum
+
+
+def _program(emit, n_pad_nops=0):
+    a = Assembler()
+    a.label("main")
+    emit(a)
+    for __ in range(n_pad_nops):
+        a.nop()
+    a.halt()
+    return a.assemble()
+
+
+class TestDataflow:
+    def test_dependent_chain_serializes(self, cfg):
+        """A chain of dependent multiplies costs ~n * latency."""
+        n = 40
+
+        def chain(a):
+            a.li(T0, 3)
+            for __ in range(n):
+                a.mul(T0, T0, T0)
+                a.andi(T0, T0, 0xFFFF)
+
+        res = simulate(_program(chain), cfg)
+        # each pair mul(3)+andi(1) is serial: >= 4 cycles per iteration
+        assert res.cycles >= n * 4
+
+    def test_independent_ops_overlap(self, cfg):
+        """Independent multiplies pipeline through the single multiplier."""
+        n = 40
+
+        def indep(a):
+            for i in range(n):
+                a.li(T0 + i % 4, i)
+                a.mul(T0 + i % 4, T0 + i % 4, T0 + i % 4)
+
+        def dep(a):
+            a.li(T0, 3)
+            for __ in range(n):
+                a.mul(T0, T0, T0)
+                a.andi(T0, T0, 0xFFFF)  # keep values bounded
+
+        dep_cycles = simulate(_program(dep), cfg).cycles
+        indep_cycles = simulate(_program(indep), cfg).cycles
+        assert indep_cycles < dep_cycles
+
+    def test_issue_width_bounds_ipc(self, cfg):
+        res = simulate(_program(lambda a: [a.addi(T0, ZERO, 1) for __ in range(400)]), cfg)
+        assert res.ipc <= cfg.issue_width + 0.5
+
+    def test_ipc_reasonable_for_simple_loop(self, cfg):
+        program, res_addr = assemble_loop_sum(200)
+        res = simulate(program, cfg)
+        assert 0.3 < res.ipc <= 4.0
+
+
+class TestMemoryBehaviour:
+    def test_cold_misses_dominate_list_walk(self, tiny_cfg):
+        program, __ = assemble_list_walk(64)
+        real, dec = simulate_decomposed(program, tiny_cfg)
+        assert dec.memory > dec.compute  # pointer chase is memory bound
+        assert real.lds_loads > 0
+
+    def test_perfect_memory_faster(self, tiny_cfg):
+        program, __ = assemble_list_walk(64)
+        real = simulate(program, tiny_cfg)
+        perfect = simulate(program, tiny_cfg.perfect())
+        assert perfect.cycles < real.cycles
+
+    def test_store_to_load_forwarding(self, cfg):
+        """A load right after a store to the same address is fast."""
+
+        def emit(a):
+            buf = a.word(0)
+            a.li(T0, buf)
+            a.li(T1, 5)
+            # long-latency producer for the store data
+            a.li(T2, 7)
+            for __ in range(3):
+                a.mul(T2, T2, T2)
+                a.andi(T2, T2, 0xFFFF)
+            a.sw(T2, T0, 0)
+            a.lw(T3, T0, 0)   # forwards from the store
+            a.add(T4, T3, T3)
+
+        res = simulate(_program(emit), cfg)
+        assert res.cycles < 200
+
+    def test_loads_wait_for_prior_store_addresses(self, cfg):
+        """A load cannot issue before an earlier store's address resolves."""
+
+        def emit(a):
+            buf = a.array([1, 2])
+            a.li(T0, buf)
+            a.li(T5, 3)
+            for __ in range(4):  # slow address computation
+                a.mul(T5, T5, T5)
+                a.andi(T5, T5, 4)  # word-aligned: 0 or 4
+            a.add(T1, T0, T5)
+            a.sw(ZERO, T1, 0)       # store with late-resolving address
+            a.lw(T2, T0, 4)         # independent load must still wait
+
+        def emit_no_store(a):
+            buf = a.array([1, 2])
+            a.li(T0, buf)
+            a.li(T5, 3)
+            for __ in range(4):
+                a.mul(T5, T5, T5)
+                a.andi(T5, T5, 4)  # word-aligned: 0 or 4
+            a.add(T1, T0, T5)
+            a.lw(T2, T0, 4)
+
+        with_store = simulate(_program(emit, n_pad_nops=0), cfg).cycles
+        without = simulate(_program(emit_no_store), cfg).cycles
+        assert with_store >= without
+
+    def test_stall_attribution_sums_to_cycles(self, cfg):
+        program, __ = assemble_list_walk(32)
+        model = TimingModel(program, cfg, attribute_stalls=True)
+        res = model.run()
+        assert sum(model.stall_attribution.values()) == res.cycles
+
+
+class TestControlFlow:
+    def test_predictable_loop_cheap(self, cfg):
+        program, __ = assemble_loop_sum(500)
+        res = simulate(program, cfg)
+        assert res.branch.mispredict_ratio < 0.05
+
+    def test_data_dependent_branches_mispredict(self, cfg):
+        """Pseudo-random branch directions cause mispredictions."""
+
+        def emit(a):
+            a.li(T0, 12345)
+            a.li(T1, 200)       # iterations
+            a.li(T2, 0)
+            a.label("loop")
+            a.li(T3, 1103515245)
+            a.mul(T0, T0, T3)
+            a.addi(T0, T0, 12345)
+            a.andi(T0, T0, 0x7FFFFFFF)
+            a.srli(T3, T0, 13)
+            a.andi(T3, T3, 1)
+            a.beqz(T3, "skip")
+            a.addi(T2, T2, 1)
+            a.label("skip")
+            a.addi(T1, T1, -1)
+            a.bnez(T1, "loop")
+            a.halt()
+
+        a = Assembler()
+        a.label("main")
+        emit(a)
+        res = simulate(a.assemble(), cfg)
+        assert res.branch.cond_mispredicts > 20
+
+    def test_calls_and_returns_predicted(self, cfg):
+        a = Assembler()
+        a.label("main")
+        a.li(T0, 100)
+        a.label("loop")
+        a.jal("leaf")
+        a.addi(T0, T0, -1)
+        a.bnez(T0, "loop")
+        a.halt()
+        a.label("leaf")
+        a.addi(T1, T1, 1)
+        a.ret()
+        res = simulate(a.assemble(), cfg)
+        assert res.branch.return_mispredicts <= 2
+
+    def test_mispredicts_cost_cycles(self, cfg):
+        """The same instruction mix runs slower with unpredictable branches."""
+
+        def body(a, predictable):
+            a.li(T0, 98765)
+            a.li(T1, 300)
+            a.li(T2, 0)
+            a.label("loop")
+            a.li(T3, 1103515245)
+            a.mul(T0, T0, T3)
+            a.addi(T0, T0, 12345)
+            a.andi(T0, T0, 0x7FFFFFFF)
+            if predictable:
+                a.li(T3, 0)
+            else:
+                a.srli(T3, T0, 13)
+                a.andi(T3, T3, 1)
+            a.beqz(T3, "skip")
+            a.addi(T2, T2, 1)
+            a.label("skip")
+            a.addi(T1, T1, -1)
+            a.bnez(T1, "loop")
+            a.halt()
+
+        progs = []
+        for predictable in (True, False):
+            a = Assembler()
+            a.label("main")
+            body(a, predictable)
+            progs.append(a.assemble())
+        fast = simulate(progs[0], cfg)
+        slow = simulate(progs[1], cfg)
+        # account for the two-instruction difference in loop body
+        assert slow.cycles > fast.cycles - 600
+
+
+def test_heap_range_covers_allocator():
+    lo, hi = heap_range(HEAP_BASE)
+    assert lo == HEAP_BASE
+    assert hi > HEAP_BASE + (1 << 24)
