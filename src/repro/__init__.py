@@ -10,6 +10,8 @@ Public API highlights:
 * :mod:`repro.core` — the JPP framework: idioms, the software jump queue,
   and the Table-1 characterization.
 * :mod:`repro.harness` — experiment runners for every paper table/figure.
+* :mod:`repro.obs` — observability: metric registry, prefetch-outcome
+  classification, event tracing, machine-readable run artifacts.
 """
 
 from .config import (
@@ -40,6 +42,7 @@ from .errors import (
     WorkloadError,
 )
 from .isa import Assembler, Interpreter, Op, Program, run_to_completion
+from .obs import EventTrace, MetricRegistry, Telemetry
 from .workloads import BuiltProgram, Workload, get_workload, workload_names
 
 __version__ = "1.0.0"
@@ -53,17 +56,20 @@ __all__ = [
     "CacheConfig",
     "ConfigError",
     "Decomposition",
+    "EventTrace",
     "ExecutionError",
     "FuncUnitConfig",
     "Idiom",
     "Interpreter",
     "MachineConfig",
+    "MetricRegistry",
     "Op",
     "PrefetchConfig",
     "Program",
     "ReproError",
     "SimResult",
     "TLBConfig",
+    "Telemetry",
     "Workload",
     "WorkloadError",
     "__version__",

@@ -8,6 +8,8 @@ Examples::
     python -m repro table1                       # characterization table
     python -m repro figure4 | figure5 | figure6 | figure7
     python -m repro run treeadd --scheme software --param levels=9 --param passes=2
+    python -m repro stats --json                 # telemetry artifact (JSON)
+    python -m repro trace health --small -o health.trace.json
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from .harness import (
     format_table,
     table1,
 )
+from .obs import EventTrace, Telemetry, artifact, dump_json
 from .workloads import workload_class
 
 
@@ -71,10 +74,7 @@ def cmd_list(args) -> int:
 
 def cmd_run(args) -> int:
     cfg = _config(args)
-    params = _parse_params(args.param)
-    if args.small:
-        params = {**workload_class(args.workload).test_params(), **params}
-    runner = BenchmarkRunner(args.workload, cfg, params)
+    runner = BenchmarkRunner(args.workload, cfg, _workload_params(args))
     schemes = SCHEMES if args.all else (args.scheme,)
     base = runner.run("base")
     rows = []
@@ -90,6 +90,110 @@ def cmd_run(args) -> int:
             "ipc": round(run.result.ipc, 2),
         })
     print(format_table(rows, f"{args.workload} on {type(cfg).__name__}"))
+    return 0
+
+
+def _workload_params(args) -> dict:
+    params = _parse_params(args.param)
+    if args.small:
+        params = {**workload_class(args.workload).test_params(), **params}
+    return params
+
+
+def _run_meta(args) -> dict:
+    return {
+        "machine": "table2" if args.table2 else "bench",
+        "memory_latency_override": args.memory_latency or None,
+        "jump_interval_override": args.interval or None,
+        "workload": args.workload,
+        "params": _workload_params(args),
+    }
+
+
+def cmd_stats(args) -> int:
+    """Run with full telemetry; emit tables or a schema-stable artifact."""
+    cfg = _config(args)
+    runner = BenchmarkRunner(args.workload, cfg, _workload_params(args))
+    schemes = (args.scheme,) if args.scheme else SCHEMES
+    runs = {}
+    base_total = None
+    for scheme in schemes:
+        print(f"  running {args.workload}/{scheme} ...", file=sys.stderr)
+        runs[scheme] = runner.run(scheme, args.idiom, telemetry=Telemetry())
+        if scheme == "base":
+            base_total = runs[scheme].total
+    if args.json:
+        engines = {}
+        for scheme, run in runs.items():
+            tele = run.result.telemetry
+            engines[scheme] = {
+                "engine": run.result.engine_name,
+                "prefetch_outcomes": tele["prefetch_outcomes"]["counts"],
+                "miss_latency": tele["metrics"]["mem.miss_latency_cycles"],
+            }
+        doc = artifact(
+            "stats",
+            {
+                "benchmark": args.workload,
+                "engines": engines,
+                "runs": {s: r.to_dict(baseline_total=base_total)
+                         for s, r in runs.items()},
+            },
+            meta=_run_meta(args),
+        )
+        if args.output:
+            dump_json(doc, args.output)
+            print(f"wrote {args.output}")
+        else:
+            print(dump_json(doc))
+        return 0
+    # Plain-text: scheme summary, then outcome and miss-latency breakdowns.
+    summary = []
+    for scheme, run in runs.items():
+        row = {
+            "scheme": scheme,
+            "variant": run.variant,
+            "cycles": run.total,
+            "memory": run.memory,
+            "ipc": round(run.result.ipc, 2),
+        }
+        if base_total:
+            row["normalized"] = round(run.normalized(base_total), 3)
+        summary.append(row)
+    print(format_table(summary, f"{args.workload} — scheme summary"))
+    outcome_rows = []
+    for scheme, run in runs.items():
+        counts = run.result.telemetry["prefetch_outcomes"]["counts"]
+        if sum(counts.values()):
+            outcome_rows.append({"scheme": scheme, **counts})
+    if outcome_rows:
+        print()
+        print(format_table(outcome_rows, "Prefetch outcomes"))
+    print()
+    hist_rows = []
+    for scheme, run in runs.items():
+        hist = run.result.telemetry["metrics"]["mem.miss_latency_cycles"]
+        row = {"scheme": scheme, "misses": hist["count"],
+               "mean": round(hist["mean"], 1)}
+        for b in hist["buckets"]:
+            label = f"<={b['le']}" if b["le"] is not None else "inf"
+            row[label] = b["count"]
+        hist_rows.append(row)
+    print(format_table(hist_rows, "Demand miss latency (cycles)"))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one scheme with event tracing; write a Chrome trace file."""
+    cfg = _config(args)
+    runner = BenchmarkRunner(args.workload, cfg, _workload_params(args))
+    trace = EventTrace(limit=args.limit)
+    run = runner.run(args.scheme, args.idiom, telemetry=Telemetry(trace=trace))
+    out = args.output or f"{args.workload}-{args.scheme}.trace.json"
+    trace.dump(out)
+    print(f"wrote {out}: {len(trace)} events "
+          f"({trace.dropped} dropped past --limit), "
+          f"{run.total} cycles simulated; open in chrome://tracing")
     return 0
 
 
@@ -139,6 +243,41 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--small", action="store_true",
                      help="use the quick test-size parameters")
 
+    stats = sub.add_parser(
+        "stats",
+        help="run with full telemetry; print tables or a JSON artifact",
+    )
+    stats.add_argument("workload", nargs="?", default="health",
+                       choices=workload_names())
+    stats.add_argument("--scheme", choices=SCHEMES, default=None,
+                       help="restrict to one scheme (default: all five)")
+    stats.add_argument("--idiom", default=None)
+    stats.add_argument("--param", action="append", default=[],
+                       metavar="KEY=VALUE")
+    stats.add_argument("--small", action="store_true",
+                       help="use the quick test-size parameters")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the repro.stats/1 JSON artifact")
+    stats.add_argument("-o", "--output", default=None,
+                       help="write the artifact here instead of stdout")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one scheme with event tracing; write a Chrome "
+             "trace_event file for chrome://tracing",
+    )
+    trace.add_argument("workload", nargs="?", default="health",
+                       choices=workload_names())
+    trace.add_argument("--scheme", choices=SCHEMES, default="hardware")
+    trace.add_argument("--idiom", default=None)
+    trace.add_argument("--param", action="append", default=[],
+                       metavar="KEY=VALUE")
+    trace.add_argument("--small", action="store_true")
+    trace.add_argument("--limit", type=int, default=1_000_000,
+                       help="event-buffer cap (default 1M)")
+    trace.add_argument("-o", "--output", default=None,
+                       help="trace file path (default <workload>-<scheme>.trace.json)")
+
     for fig in ("table1", "figure4", "figure5", "figure6", "figure7"):
         sub.add_parser(fig, help=f"reproduce {fig}")
     return parser
@@ -150,6 +289,10 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_list(args)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "stats":
+        return cmd_stats(args)
+    if args.command == "trace":
+        return cmd_trace(args)
     return cmd_figure(args)
 
 

@@ -31,9 +31,14 @@ def simulate(
     engine: str | PrefetchEngine = "none",
     collect_miss_intervals: bool = False,
     max_steps: int | None = None,
+    telemetry=None,
 ) -> SimResult:
     """Run ``program`` on the simulated machine; returns a
-    :class:`~repro.cpu.stats.SimResult`."""
+    :class:`~repro.cpu.stats.SimResult`.
+
+    ``telemetry`` is an optional :class:`repro.obs.Telemetry` context;
+    when given, the result carries its serialized metric registry and
+    prefetch-outcome counts (``SimResult.telemetry``)."""
     cfg = cfg or MachineConfig()
     if isinstance(engine, str):
         engine = make_engine(engine, cfg)
@@ -43,6 +48,7 @@ def simulate(
         engine,
         collect_miss_intervals=collect_miss_intervals,
         max_steps=max_steps,
+        telemetry=telemetry,
     )
     return model.run()
 

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import bisect
+from dataclasses import asdict, dataclass, field
 
 from ..mem.hierarchy import HierarchyStats
 from ..prefetch.base import EngineStats
@@ -28,6 +29,9 @@ class SimResult:
     dtlb_misses: int
     engine_name: str = "none"
     extra: dict[str, float] = field(default_factory=dict)
+    telemetry: dict | None = None
+    """Serialized :class:`repro.obs.Telemetry` (metric registry dump and
+    prefetch-outcome counts) when the run was observed; None otherwise."""
 
     @property
     def ipc(self) -> float:
@@ -68,8 +72,39 @@ class SimResult:
             total += _count_le(starts, s) - _count_le(ends, s)
         return total / len(intervals)
 
+    def to_dict(self) -> dict:
+        """JSON-safe dict of all counters, nested stats, derived metrics
+        and (when present) the telemetry dump.  Large raw samples
+        (``miss_intervals``) are reduced to their count."""
+        hier = asdict(self.hierarchy)
+        intervals = hier.pop("miss_intervals", None)
+        hier["miss_interval_count"] = len(intervals) if intervals else 0
+        return {
+            "engine": self.engine_name,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "loads": self.loads,
+            "stores": self.stores,
+            "lds_loads": self.lds_loads,
+            "l1d_accesses": self.l1d_accesses,
+            "l1d_misses": self.l1d_misses,
+            "l2_accesses": self.l2_accesses,
+            "l2_misses": self.l2_misses,
+            "dtlb_misses": self.dtlb_misses,
+            "derived": {
+                "ipc": self.ipc,
+                "l1d_miss_ratio": self.l1d_miss_ratio,
+                "lds_load_fraction": self.lds_load_fraction,
+                "lds_miss_fraction": self.lds_miss_fraction,
+                "bytes_l1_l2_per_inst": self.bytes_l1_l2_per_inst,
+            },
+            "branch": asdict(self.branch),
+            "hierarchy": hier,
+            "engine_stats": asdict(self.engine),
+            "extra": dict(self.extra),
+            "telemetry": self.telemetry,
+        }
+
 
 def _count_le(sorted_values: list[int], x: int) -> int:
-    import bisect
-
     return bisect.bisect_right(sorted_values, x)

@@ -61,20 +61,25 @@ class TimingModel:
         collect_miss_intervals: bool = False,
         max_steps: int | None = None,
         attribute_stalls: bool = False,
+        telemetry=None,
     ) -> None:
         self.attribute_stalls = attribute_stalls
         self.stall_attribution: dict[tuple[str, str | None], int] = {}
         self.program = program
         self.cfg = cfg
+        self.telemetry = telemetry
         self.engine = engine or PrefetchEngine()
         self.hierarchy = MemoryHierarchy(
             cfg,
             use_prefetch_buffer=self.engine.uses_prefetch_buffer,
             collect_miss_intervals=collect_miss_intervals,
         )
+        self.hierarchy.set_telemetry(telemetry)
         self.timing_mem = MemoryImage(program.initial_memory)
         lo, hi = heap_range(program.heap_base)
-        self.engine.attach(self.hierarchy, self.timing_mem, lo, hi, cfg)
+        self.engine.attach(
+            self.hierarchy, self.timing_mem, lo, hi, cfg, telemetry=telemetry
+        )
         self.bpred = BranchPredictor(cfg.branch_pred)
         self._max_steps = max_steps
 
@@ -152,6 +157,7 @@ class TimingModel:
 
         mispredict_penalty = cfg.branch_pred.misprediction_penalty
         perfect = cfg.perfect_data_memory
+        trace = self.telemetry.trace if self.telemetry is not None else None
 
         n_committed = 0
         n_loads = 0
@@ -250,6 +256,11 @@ class TimingModel:
                 start = issue
                 if store_addr_floor > start:
                     start = store_addr_floor
+                if trace is not None:
+                    trace.instant(
+                        "load-issue", start, cat="core",
+                        pc=inst.index, addr=addr, lds=lds,
+                    )
                 if issue_hook:
                     engine.on_load_issue(inst, addr, start)
                 fwd = pending_stores.get(addr)
@@ -375,6 +386,10 @@ class TimingModel:
         # ------------------------------------------------------------------
         cycles = last_commit
         h = hierarchy
+        tele_dict = None
+        if self.telemetry is not None:
+            self.telemetry.finalize()
+            tele_dict = self.telemetry.to_dict()
         return SimResult(
             cycles=cycles,
             instructions=n_committed,
@@ -390,4 +405,5 @@ class TimingModel:
             l2_misses=h.l2.stats.misses,
             dtlb_misses=h.dtlb.stats.misses,
             engine_name=engine.name,
+            telemetry=tele_dict,
         )

@@ -6,10 +6,19 @@ from typing import Iterable
 
 
 def format_table(rows: list[dict[str, object]], title: str | None = None) -> str:
-    """Render a list of uniform dicts as an aligned text table."""
+    """Render a list of dicts as an aligned text table.
+
+    Columns are the union of all rows' keys in first-seen order, so rows
+    with extra or missing keys render blanks instead of losing data."""
     if not rows:
         return f"{title}\n(no rows)" if title else "(no rows)"
-    columns = list(rows[0].keys())
+    columns: list[str] = []
+    seen: set[str] = set()
+    for r in rows:
+        for k in r:
+            if k not in seen:
+                seen.add(k)
+                columns.append(k)
     cells = [[_fmt(r.get(c, "")) for c in columns] for r in rows]
     widths = [
         max(len(str(c)), *(len(row[i]) for row in cells))

@@ -54,6 +54,22 @@ class SchemeRun:
             return 0.0
         return 1.0 - self.memory / baseline_memory
 
+    def to_dict(self, baseline_total: int | None = None) -> dict:
+        """JSON-safe artifact body for one scheme run; ``baseline_total``
+        (the base scheme's cycles) adds the paper's normalized metric."""
+        d: dict = {
+            "benchmark": self.benchmark,
+            "scheme": self.scheme,
+            "variant": self.variant,
+            "total": self.total,
+            "compute": self.compute,
+            "memory": self.memory,
+        }
+        if baseline_total:
+            d["normalized"] = self.normalized(baseline_total)
+        d["result"] = self.result.to_dict()
+        return d
+
 
 def scheme_plan(workload: Workload, scheme: str, idiom: str | None = None) -> tuple[str, str]:
     """Maps a scheme to (program variant, engine name)."""
@@ -109,9 +125,11 @@ class BenchmarkRunner:
             self._compute_cache[variant] = res.cycles
         return self._compute_cache[variant]
 
-    def run(self, scheme: str, idiom: str | None = None) -> SchemeRun:
+    def run(self, scheme: str, idiom: str | None = None, telemetry=None) -> SchemeRun:
         variant, engine = scheme_plan(self.workload, scheme, idiom)
-        result = simulate(self._program(variant), self.cfg, engine=engine)
+        result = simulate(
+            self._program(variant), self.cfg, engine=engine, telemetry=telemetry
+        )
         return SchemeRun(
             benchmark=self.name,
             scheme=scheme,
@@ -121,9 +139,11 @@ class BenchmarkRunner:
             result=result,
         )
 
-    def run_variant(self, variant: str, engine: str) -> SchemeRun:
+    def run_variant(self, variant: str, engine: str, telemetry=None) -> SchemeRun:
         """Arbitrary variant/engine pairing (Figure 4 idiom comparison)."""
-        result = simulate(self._program(variant), self.cfg, engine=engine)
+        result = simulate(
+            self._program(variant), self.cfg, engine=engine, telemetry=telemetry
+        )
         return SchemeRun(
             benchmark=self.name,
             scheme=f"{engine}:{variant}",

@@ -22,8 +22,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from ..config import MachineConfig
 from .cache import Cache
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Telemetry
 
 
 @dataclass
@@ -94,6 +99,24 @@ class MemoryHierarchy:
             + cfg.mem_bus.cycles_for(cfg.l2.line)
             + cfg.l2_bus.cycles_for(cfg.dl1.line)
         )
+        # Optional observability context (None = zero-overhead fast path).
+        self._obs: "Telemetry | None" = None
+        self._miss_hist = None
+
+    def set_telemetry(self, obs: "Telemetry | None") -> None:
+        """Attach an observability context; registers this component's
+        instruments into its metric registry."""
+        self._obs = obs
+        if obs is not None:
+            from ..obs import MISS_LATENCY_BOUNDS
+
+            self._miss_hist = obs.registry.histogram(
+                "mem.miss_latency_cycles",
+                MISS_LATENCY_BOUNDS,
+                help="demand L1 data-miss latency (request to fill)",
+            )
+        else:
+            self._miss_hist = None
 
     # ------------------------------------------------------------------
     # Shared L2/memory path
@@ -168,7 +191,11 @@ class MemoryHierarchy:
     def _fill_l1(self, addr: int, dirty: bool) -> None:
         evicted, evicted_dirty = self.dl1.fill(addr, dirty=dirty)
         if evicted is not None:
-            self._pf_lines.discard(evicted)
+            if evicted in self._pf_lines:
+                # A prefetched line leaving L1 unused: too early.
+                self._pf_lines.discard(evicted)
+                if self._obs is not None:
+                    self._obs.outcomes.on_evict(evicted)
             if evicted_dirty:
                 self._writeback_l1(evicted)
 
@@ -198,6 +225,8 @@ class MemoryHierarchy:
             st.l1d_partial_hits += 1
             if line in self._pf_inflight:
                 st.prefetches_useful += 1
+                if self._obs is not None:
+                    self._obs.outcomes.on_demand(line, time)
                 self._pf_inflight.discard(line)
                 self._pf_lines.discard(line)
                 # Promote the background fill to demand priority.
@@ -212,6 +241,8 @@ class MemoryHierarchy:
         if self.dl1.access(addr, write=write):
             if line in self._pf_lines:
                 st.prefetches_useful += 1
+                if self._obs is not None:
+                    self._obs.outcomes.on_demand(line, time)
                 self._pf_lines.discard(line)
                 self._pf_inflight.discard(line)
             return time + self.cfg.dl1.latency
@@ -226,6 +257,8 @@ class MemoryHierarchy:
             self.pb.invalidate(line)
             st.pb_hits += 1
             st.prefetches_useful += 1
+            if self._obs is not None:
+                self._obs.outcomes.on_demand(line, time)
             self._pf_inflight.discard(line)
             self._fill_l1(addr, dirty=write)
             return time + self.cfg.prefetch.prefetch_buffer.latency
@@ -233,6 +266,14 @@ class MemoryHierarchy:
         t = self._acquire_mshr(time + self.cfg.dl1.latency)
         ready = self._l2_path(line, t, self.cfg.dl1.line, background=write)
         self._release_mshr(ready)
+        obs = self._obs
+        if obs is not None and not write:
+            self._miss_hist.observe(ready - time)
+            trace = obs.trace
+            if trace is not None:
+                trace.complete("demand-miss", time, ready - time, cat="mem",
+                               line=line, lds=lds)
+                trace.instant("fill", ready, cat="mem", line=line)
         self._fill_l1(addr, dirty=write)
         self._inflight[line] = ready
         if len(self._inflight) > 4096:
@@ -321,10 +362,16 @@ class MemoryHierarchy:
         ready = self._l2_path(line, t, self.cfg.dl1.line, background=True)
         self._release_mshr(ready)
         st.prefetches_issued += 1
+        obs = self._obs
+        if obs is not None and obs.trace is not None:
+            obs.trace.complete("prefetch", time, ready - time, cat="prefetch",
+                               line=line)
         if self.pb is not None:
             evicted, __ = self.pb.fill(line)
             if evicted is not None:
                 self._pf_inflight.discard(evicted)
+                if obs is not None:
+                    obs.outcomes.on_evict(evicted)
         else:
             self._fill_l1(addr, dirty=False)
             self._pf_lines.add(line)

@@ -27,6 +27,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..config import PrefetchConfig
+from ..obs.outcomes import EARLY, LATE, TIMELY
 from .jqt import JumpQueueTable
 
 
@@ -85,8 +86,16 @@ class AdaptiveJumpQueueTable(JumpQueueTable):
         return home
 
     def feedback(self, pc: int, late: bool, early: bool) -> None:
-        """Report one jump-prefetch outcome for ``pc``."""
+        """Boolean-flag compatibility wrapper around :meth:`observe`."""
+        self.observe(pc, LATE if late else EARLY if early else TIMELY)
+
+    def observe(self, pc: int, outcome: str) -> None:
+        """Report one jump-prefetch timeliness outcome for ``pc``, using
+        the shared labels of :mod:`repro.obs.outcomes` (``late`` /
+        ``early`` / ``timely``, as produced by ``classify_timeliness``)."""
         st = self.adapt_stats
+        late = outcome == LATE
+        early = outcome == EARLY
         if late:
             st.late += 1
         elif early:

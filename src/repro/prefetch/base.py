@@ -19,10 +19,15 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from ..config import MachineConfig, PrefetchConfig
 from ..isa.instruction import Instruction
 from ..mem.hierarchy import MemoryHierarchy
 from ..mem.memory_image import MemoryImage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Telemetry
 
 
 @dataclass
@@ -54,6 +59,8 @@ class PrefetchEngine:
         self._heap_hi = 0
         self._prq: deque[int] = deque()
         self._prq_last_issue = -1
+        self.obs: "Telemetry | None" = None
+        self._prq_hist = None
 
     # ------------------------------------------------------------------
 
@@ -64,6 +71,7 @@ class PrefetchEngine:
         heap_lo: int,
         heap_hi: int,
         cfg: MachineConfig,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         self.hierarchy = hierarchy
         self.timing_mem = timing_mem
@@ -71,6 +79,15 @@ class PrefetchEngine:
         self._heap_hi = heap_hi
         self.cfg = cfg
         self.line_mask = ~(cfg.dl1.line - 1)
+        self.obs = telemetry
+        if telemetry is not None:
+            from ..obs import linear_buckets
+
+            self._prq_hist = telemetry.registry.histogram(
+                "prefetch.prq_occupancy",
+                linear_buckets(0, 1, self.pcfg.prq_entries + 1),
+                help="PRQ entries in use, sampled at each admission",
+            )
 
     def valid_pointer(self, value: object) -> bool:
         """Heuristic pointer test used before chasing a prefetch address."""
@@ -99,17 +116,24 @@ class PrefetchEngine:
         issue = max(time, self._prq_last_issue + 1)
         self._prq_last_issue = issue
         q.append(issue)
+        if self._prq_hist is not None:
+            self._prq_hist.observe(len(q))
         return issue
 
-    def request(self, addr: int, time: int, kind: str = "chained") -> int | None:
+    def request(
+        self, addr: int, time: int, kind: str = "chained", pc: int | None = None
+    ) -> int | None:
         """PRQ-admit and issue one prefetch; returns the time the target
         data is available (fill time, or now for already-cached lines), or
-        None if the PRQ was full and the request dropped."""
+        None if the PRQ was full and the request dropped.  ``pc`` (the
+        triggering load's index) attributes the outcome per-PC."""
         if self.hierarchy.probe_cached(addr, time):
             # Already cached/buffered/in flight: no request is generated.
             return time + 1
         t = self._admit(time)
         if t is None:
+            if self.obs is not None:
+                self.obs.outcomes.record_drop(kind, pc)
             return None
         if kind == "jump":
             self.stats.jump_prefetches += 1
@@ -118,6 +142,8 @@ class PrefetchEngine:
         else:
             self.stats.chained_prefetches += 1
         done = self.hierarchy.prefetch_request(addr, t)
+        if done is not None and self.obs is not None:
+            self.obs.outcomes.record_issue(addr & self.line_mask, kind, pc, t, done)
         return done if done is not None else t
 
     # ------------------------------------------------------------------
@@ -155,4 +181,8 @@ class SoftwarePrefetchEngine(PrefetchEngine):
 
     def on_sw_prefetch(self, inst: Instruction, addr: int, time: int) -> None:
         self.stats.sw_prefetches += 1
-        self.hierarchy.prefetch_request(addr, time)
+        done = self.hierarchy.prefetch_request(addr, time)
+        if done is not None and self.obs is not None:
+            self.obs.outcomes.record_issue(
+                addr & self.line_mask, "sw", inst.index, time, done
+            )

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from ..config import PrefetchConfig
 from ..isa.instruction import Instruction
+from ..obs.outcomes import EARLY, LATE, classify_timeliness
 from .base import EngineStats, PrefetchEngine, SoftwarePrefetchEngine
 from .dependence import DependencePredictor, ValueCorrelator
 from .jqt import JumpPointerStorage, JumpQueueTable
@@ -102,7 +103,7 @@ class DBPEngine(PrefetchEngine):
                     k: t for k, t in recent.items() if t >= cutoff
                 }
             self._budget -= 1
-            done = self.request(addr, time)
+            done = self.request(addr, time, pc=consumer_pc)
             if done is None:
                 continue
             nxt = self.timing_mem.peek(addr)
@@ -139,7 +140,11 @@ class CooperativeEngine(DBPEngine):
 
         if inst.op == Op.PF:
             self.stats.sw_prefetches += 1
-            self.hierarchy.prefetch_request(addr, time)
+            done = self.hierarchy.prefetch_request(addr, time)
+            if done is not None and self.obs is not None:
+                self.obs.outcomes.record_issue(
+                    addr & self.line_mask, "sw", inst.index, time, done
+                )
             return
         # JPF: hardware performs the second (non-binding) load of the
         # software prefetch pair: read the jump-pointer, prefetch its
@@ -149,7 +154,7 @@ class CooperativeEngine(DBPEngine):
             self.stats.jp_invalid += 1
             return
         self.correlator.record(jp, inst.index)
-        done = self.request(jp, time, kind="jump")
+        done = self.request(jp, time, kind="jump", pc=inst.index)
         if done is not None:
             self._trigger(inst.index, jp, done)
 
@@ -200,7 +205,8 @@ class HardwareJPPEngine(DBPEngine):
         if record is None:
             return
         pc, done = record
-        self.jqt.feedback(pc, late=time < done, early=time > done + self.EARLY_SLACK)
+        outcome = classify_timeliness(time, done, early_slack=self.EARLY_SLACK)
+        self.jqt.feedback(pc, late=outcome == LATE, early=outcome == EARLY)
 
     def on_load_issue(self, inst: Instruction, addr: int, time: int) -> None:
         pc = inst.index
@@ -216,7 +222,7 @@ class HardwareJPPEngine(DBPEngine):
         if not self.valid_pointer(jp):
             self.jqt.stats.retrieval_misses += 1
             return
-        done = self.request(jp, time, kind="jump")
+        done = self.request(jp, time, kind="jump", pc=pc)
         if done is not None and isinstance(inst.imm, int):
             if adaptive:
                 self._jump_outstanding[jp & self.line_mask] = (pc, done)

@@ -50,3 +50,52 @@ def test_figure_commands_parse():
     for fig in ("table1", "figure4", "figure5", "figure6", "figure7"):
         args = parser.parse_args([fig])
         assert args.command == fig
+
+
+def test_stats_text(capsys):
+    assert main(["stats", "health", "--small", "--scheme", "hardware"]) == 0
+    out = capsys.readouterr().out
+    assert "Prefetch outcomes" in out
+    assert "Demand miss latency" in out
+    assert "timely" in out and "dropped" in out
+
+
+def test_stats_json_artifact(capsys):
+    import json
+
+    assert main(["stats", "health", "--small", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "repro.stats/1"
+    assert set(doc["engines"]) == {
+        "base", "software", "cooperative", "hardware", "dbp",
+    }
+    hw = doc["engines"]["hardware"]
+    assert set(hw["prefetch_outcomes"]) == {
+        "timely", "late", "early-evicted", "useless", "dropped",
+    }
+    assert hw["miss_latency"]["type"] == "histogram"
+    assert doc["runs"]["hardware"]["result"]["cycles"] > 0
+
+
+def test_stats_json_to_file(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "stats.json"
+    assert main(["stats", "health", "--small", "--scheme", "base",
+                 "--json", "-o", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.stats/1"
+    assert list(doc["engines"]) == ["base"]
+
+
+def test_trace_writes_chrome_file(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "t.trace.json"
+    assert main(["trace", "health", "--small", "--scheme", "hardware",
+                 "-o", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    events = doc["traceEvents"]
+    assert any(e["name"] == "load-issue" for e in events)
+    assert any(e["name"] == "demand-miss" for e in events)
+    assert "wrote" in capsys.readouterr().out

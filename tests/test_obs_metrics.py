@@ -1,0 +1,112 @@
+"""Metric registry: counters and histogram bucketing edge cases."""
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Histogram,
+    MetricRegistry,
+    exponential_buckets,
+    linear_buckets,
+)
+
+
+class TestBucketHelpers:
+    def test_exponential(self):
+        assert exponential_buckets(1, 2, 5) == [1, 2, 4, 8, 16]
+
+    def test_linear(self):
+        assert linear_buckets(0, 1, 4) == [0, 1, 2, 3]
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        assert c.to_dict() == {"type": "counter", "value": 6}
+
+
+class TestHistogram:
+    def test_value_on_bound_lands_in_that_bucket(self):
+        h = Histogram("h", [10, 20, 30])
+        h.observe(10)   # == first bound: first bucket ("le" semantics)
+        h.observe(20)
+        assert h.counts == [1, 1, 0, 0]
+
+    def test_value_below_first_bound(self):
+        h = Histogram("h", [10, 20])
+        h.observe(0)
+        h.observe(-5)
+        assert h.counts[0] == 2
+
+    def test_overflow_bucket(self):
+        h = Histogram("h", [10, 20])
+        h.observe(21)
+        h.observe(10**9)
+        assert h.counts == [0, 0, 2]
+        d = h.to_dict()
+        assert d["buckets"][-1] == {"le": None, "count": 2}
+
+    def test_just_past_bound_goes_to_next_bucket(self):
+        h = Histogram("h", [10, 20])
+        h.observe(11)
+        assert h.counts == [0, 1, 0]
+
+    def test_count_sum_min_max_mean(self):
+        h = Histogram("h", [100])
+        for v in (5, 15, 40):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 60
+        assert h.min == 5 and h.max == 40
+        assert h.mean == 20.0
+
+    def test_empty_mean_and_serialization(self):
+        h = Histogram("h", [1])
+        assert h.mean == 0.0
+        d = h.to_dict()
+        assert d["count"] == 0 and d["min"] is None and d["max"] is None
+
+    def test_bucket_of(self):
+        h = Histogram("h", [10, 20])
+        assert h.bucket_of(10) == 0
+        assert h.bucket_of(10.5) == 1
+        assert h.bucket_of(9999) == 2
+
+    def test_rejects_unsorted_or_empty_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [20, 10])
+        with pytest.raises(ValueError):
+            Histogram("h", [])
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        reg = MetricRegistry()
+        a = reg.counter("c")
+        b = reg.counter("c")
+        assert a is b
+        h1 = reg.histogram("h", [1, 2])
+        h2 = reg.histogram("h", [9, 99])  # bounds of first registration win
+        assert h1 is h2 and h1.bounds == [1, 2]
+
+    def test_type_conflict_rejected(self):
+        reg = MetricRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x", [1])
+        reg.histogram("y", [1])
+        with pytest.raises(ValueError):
+            reg.counter("y")
+
+    def test_lookup_and_dump(self):
+        reg = MetricRegistry()
+        reg.counter("b").inc(2)
+        reg.histogram("a", [1]).observe(0)
+        assert "a" in reg and reg.get("nope") is None
+        assert reg.names() == ["a", "b"]
+        d = reg.to_dict()
+        assert d["b"]["value"] == 2
+        assert d["a"]["type"] == "histogram"

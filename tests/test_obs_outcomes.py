@@ -1,0 +1,167 @@
+"""Prefetch-outcome classification: the shared classifier, the tracker's
+state machine, and end-to-end accounting on hand-built programs."""
+
+from repro import Assembler, Telemetry, simulate
+from repro.isa.registers import T0, T1
+from repro.obs import (
+    DROPPED,
+    EARLY,
+    EARLY_EVICTED,
+    LATE,
+    OUTCOMES,
+    TIMELY,
+    USELESS,
+    MetricRegistry,
+    OutcomeTracker,
+    classify_timeliness,
+)
+
+from tests.conftest import assemble_list_walk
+
+
+class TestClassifier:
+    def test_late_when_demand_precedes_fill(self):
+        assert classify_timeliness(100, 150) == LATE
+
+    def test_timely_when_fill_precedes_demand(self):
+        assert classify_timeliness(150, 100) == TIMELY
+        assert classify_timeliness(100, 100) == TIMELY  # same cycle: data there
+
+    def test_early_only_with_slack(self):
+        assert classify_timeliness(1000, 100) == TIMELY
+        assert classify_timeliness(1000, 100, early_slack=800) == EARLY
+        assert classify_timeliness(900, 100, early_slack=800) == TIMELY
+
+
+class TestOutcomeTracker:
+    def test_timely_and_late_demand(self):
+        t = OutcomeTracker()
+        t.record_issue(0x100, "jump", 7, issue=10, fill=50)
+        t.record_issue(0x200, "chained", 9, issue=10, fill=50)
+        assert t.on_demand(0x100, 60) == TIMELY
+        assert t.on_demand(0x200, 40) == LATE
+        assert t.counts[TIMELY] == 1 and t.counts[LATE] == 1
+        assert t.by_kind["jump"][TIMELY] == 1
+        assert t.by_pc[9][LATE] == 1
+
+    def test_demand_on_untracked_line_is_noop(self):
+        t = OutcomeTracker()
+        assert t.on_demand(0x999, 5) is None
+        assert t.total == 0
+
+    def test_evicted_before_use(self):
+        t = OutcomeTracker()
+        t.record_issue(0x100, "sw", None, issue=0, fill=10)
+        assert t.on_evict(0x100) == EARLY_EVICTED
+        assert t.on_evict(0x100) is None  # already resolved
+        assert t.counts[EARLY_EVICTED] == 1
+
+    def test_finalize_marks_unused_as_useless(self):
+        t = OutcomeTracker()
+        t.record_issue(0x100, "jump", 3, issue=0, fill=10)
+        t.record_issue(0x200, "jump", 3, issue=0, fill=10)
+        t.on_demand(0x100, 20)
+        t.finalize()
+        assert t.counts[USELESS] == 1
+        assert t.counts[TIMELY] == 1
+
+    def test_superseded_issue_counts_useless(self):
+        t = OutcomeTracker()
+        t.record_issue(0x100, "jump", 1, issue=0, fill=10)
+        t.record_issue(0x100, "chained", 2, issue=100, fill=110)
+        assert t.counts[USELESS] == 1  # the first fetch did nothing
+        assert t.on_demand(0x100, 120) == TIMELY
+
+    def test_dropped(self):
+        t = OutcomeTracker()
+        t.record_drop("chained", 5)
+        assert t.counts[DROPPED] == 1
+        assert t.by_pc[5][DROPPED] == 1
+
+    def test_distance_histogram_via_registry(self):
+        reg = MetricRegistry()
+        t = OutcomeTracker(reg)
+        t.record_issue(0x100, "jump", 1, issue=0, fill=10)
+        t.on_demand(0x100, 74)
+        h = reg.get("prefetch.to_demand_distance_cycles")
+        assert h.count == 1 and h.sum == 64
+
+    def test_to_dict_shape(self):
+        t = OutcomeTracker()
+        t.record_drop("jump", 4)
+        d = t.to_dict()
+        assert set(d) == {"counts", "by_kind", "by_pc"}
+        assert set(d["counts"]) == set(OUTCOMES)
+        assert d["by_pc"]["4"][DROPPED] == 1  # JSON-safe string keys
+
+
+class TestEndToEnd:
+    def test_software_prefetch_timely_on_straightline(self, tiny_cfg):
+        # PF far enough ahead of the demand load that the fill completes:
+        # exactly one prefetch, classified timely.
+        a = Assembler()
+        target = a.space(64)
+        a.label("main")
+        a.li(T0, target)
+        a.pf(T0, 0)
+        for __ in range(150):
+            a.nop()
+        a.lw(T1, T0, 0)
+        a.halt()
+        tele = Telemetry()
+        res = simulate(a.assemble(), tiny_cfg, engine="software", telemetry=tele)
+        assert tele.outcomes.counts[TIMELY] == 1
+        assert tele.outcomes.total == 1
+        assert res.telemetry["prefetch_outcomes"]["counts"][TIMELY] == 1
+
+    def test_software_prefetch_late_when_demand_is_adjacent(self, tiny_cfg):
+        # Demand load issues immediately after the PF: fill still in flight.
+        a = Assembler()
+        target = a.space(64)
+        a.label("main")
+        a.li(T0, target)
+        a.pf(T0, 0)
+        a.lw(T1, T0, 0)
+        a.halt()
+        tele = Telemetry()
+        simulate(a.assemble(), tiny_cfg, engine="software", telemetry=tele)
+        assert tele.outcomes.counts[LATE] == 1
+
+    def test_software_prefetch_useless_when_never_touched(self, tiny_cfg):
+        a = Assembler()
+        target = a.space(64)
+        a.label("main")
+        a.li(T0, target)
+        a.pf(T0, 0)
+        for __ in range(150):
+            a.nop()
+        a.halt()
+        tele = Telemetry()
+        simulate(a.assemble(), tiny_cfg, engine="software", telemetry=tele)
+        assert tele.outcomes.counts[USELESS] == 1
+
+    def test_outcomes_consistent_with_hierarchy_counters(self, tiny_cfg):
+        # On a real traversal, every issued prefetch resolves to exactly
+        # one outcome, and demand-use outcomes mirror prefetches_useful.
+        program, __ = assemble_list_walk(64)
+        tele = Telemetry()
+        res = simulate(program, tiny_cfg, engine="dbp", telemetry=tele)
+        c = tele.outcomes.counts
+        issued = res.hierarchy.prefetches_issued
+        assert issued > 0
+        assert c[TIMELY] + c[LATE] + c[EARLY_EVICTED] + c[USELESS] == issued
+        # prefetches_useful counts demand *hits* (a late prefetch can be
+        # hit both in flight and at the pb install); the tracker counts
+        # each *prefetch* exactly once.
+        assert 0 < c[TIMELY] + c[LATE] <= res.hierarchy.prefetches_useful
+        assert c[DROPPED] == res.engine.prq_drops
+
+    def test_hardware_engine_attributes_outcomes_per_pc(self, tiny_cfg):
+        from tests.test_engines import walk_twice
+
+        program, __ = walk_twice(64)
+        tele = Telemetry()
+        res = simulate(program, tiny_cfg, engine="hardware", telemetry=tele)
+        assert res.engine.jump_prefetches > 0
+        assert "jump" in tele.outcomes.by_kind
+        assert tele.outcomes.by_pc  # attributed to triggering load PCs

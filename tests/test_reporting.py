@@ -29,6 +29,19 @@ def test_float_formatting():
     assert "0.123" in text
 
 
+def test_ragged_rows_keep_all_columns():
+    rows = [
+        {"a": 1, "b": 2},
+        {"a": 3, "c": 4},   # extra key 'c', missing 'b'
+        {"c": 5, "d": 6},
+    ]
+    text = format_table(rows)
+    header = text.splitlines()[0]
+    # union of keys in first-seen order
+    assert header.split() == ["a", "b", "c", "d"]
+    assert "4" in text and "6" in text  # no data silently dropped
+
+
 def test_normalized_bar():
     assert normalized_bar(1.0, scale=10) == "#" * 10
     assert normalized_bar(0.5, scale=10) == "#" * 5
