@@ -6,7 +6,9 @@ Examples::
     python -m repro run health --scheme hardware # one benchmark, one scheme
     python -m repro run health --all             # full Figure-5 row
     python -m repro table1                       # characterization table
-    python -m repro figure4 | figure5 | figure6 | figure7
+    python -m repro figure4 | figure5 | figure6 | figure7 | x1 | x2
+    python -m repro figure5 --jobs 4             # sweep across 4 processes
+    python -m repro figure7 --no-cache           # ignore the on-disk cache
     python -m repro run treeadd --scheme software --param levels=9 --param passes=2
     python -m repro stats --json                 # telemetry artifact (JSON)
     python -m repro trace health --small -o health.trace.json
@@ -21,13 +23,17 @@ from . import bench_config, table2_config, workload_names
 from .harness import (
     SCHEMES,
     BenchmarkRunner,
+    ResultCache,
+    creation_overhead,
     figure4,
     figure5,
     figure5_summary,
     figure6,
     figure7,
     format_table,
+    onchip_table_ablation,
     table1,
+    traversal_count_sweep,
 )
 from .obs import EventTrace, Telemetry, artifact, dump_json
 from .workloads import workload_class
@@ -197,22 +203,48 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _sweep_kwargs(args) -> dict:
+    """--jobs/--no-cache/--cache-dir plumbing shared by figure commands."""
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+    progress = None
+    if args.progress or args.jobs > 1:
+        progress = lambda line: print(f"  {line}", file=sys.stderr)
+    return {"jobs": args.jobs, "cache": cache, "progress": progress}
+
+
 def cmd_figure(args) -> int:
     cfg = _config(args)
     name = args.command
+    sweep = _sweep_kwargs(args)
     if name == "table1":
-        print(format_table(table1(cfg), "Table 1 — benchmark characterization"))
+        print(format_table(table1(cfg, **sweep),
+                           "Table 1 — benchmark characterization"))
     elif name == "figure4":
-        print(format_table(figure4(cfg), "Figure 4 — idiom comparison"))
+        print(format_table(figure4(cfg, **sweep), "Figure 4 — idiom comparison"))
     elif name == "figure5":
-        rows = figure5(cfg)
+        rows = figure5(cfg, **sweep)
         print(format_table(rows, "Figure 5 — implementation comparison"))
         print()
         print(format_table(figure5_summary(rows), "Memory-bound averages"))
     elif name == "figure6":
-        print(format_table(figure6(cfg), "Figure 6 — L1<->L2 bytes per instruction"))
+        print(format_table(figure6(cfg, **sweep),
+                           "Figure 6 — L1<->L2 bytes per instruction"))
     elif name == "figure7":
-        print(format_table(figure7(cfg), "Figure 7 — latency tolerance (health)"))
+        print(format_table(figure7(cfg, **sweep),
+                           "Figure 7 — latency tolerance (health)"))
+    elif name == "x1":
+        print(format_table(onchip_table_ablation(cfg, **sweep),
+                           "X1 — on-chip jump-pointer table ablation"))
+    elif name == "x2":
+        print(format_table(creation_overhead(cfg, **sweep),
+                           "X2 — jump-pointer creation overhead"))
+        print()
+        print(format_table(traversal_count_sweep(cfg, **sweep),
+                           "X2 — traversal-count sensitivity (treeadd)"))
+    if sweep["cache"] is not None:
+        print(f"  {sweep['cache'].describe()}", file=sys.stderr)
     return 0
 
 
@@ -278,8 +310,23 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("-o", "--output", default=None,
                        help="trace file path (default <workload>-<scheme>.trace.json)")
 
-    for fig in ("table1", "figure4", "figure5", "figure6", "figure7"):
-        sub.add_parser(fig, help=f"reproduce {fig}")
+    figure_help = {
+        "x1": "extension: on-chip jump-pointer table ablation",
+        "x2": "extension: creation overhead + traversal-count sweep",
+    }
+    for fig in ("table1", "figure4", "figure5", "figure6", "figure7", "x1", "x2"):
+        p = sub.add_parser(fig, help=figure_help.get(fig, f"reproduce {fig}"))
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run sweep cells across N worker processes "
+                            "(default: 1, serial)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="do not read or write the on-disk result cache")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result cache location (default: $REPRO_CACHE_DIR "
+                            "or .repro_cache)")
+        p.add_argument("--progress", action="store_true",
+                       help="narrate per-cell progress on stderr "
+                            "(implied by --jobs > 1)")
     return parser
 
 

@@ -8,7 +8,7 @@ from dataclasses import dataclass
 from ..config import BranchPredConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class BranchStats:
     cond_branches: int = 0
     cond_mispredicts: int = 0

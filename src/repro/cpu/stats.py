@@ -105,6 +105,36 @@ class SimResult:
             "telemetry": self.telemetry,
         }
 
+    @classmethod
+    def from_dict(cls, d: dict) -> "SimResult":
+        """Inverse of :meth:`to_dict` (used by the on-disk result cache).
+
+        Raw ``miss_intervals`` samples are not serialized, so they come
+        back as ``None`` — identical to a run executed without
+        ``collect_miss_intervals``.
+        """
+        hier = dict(d["hierarchy"])
+        hier.pop("miss_interval_count", None)
+        hier["miss_intervals"] = None
+        return cls(
+            cycles=d["cycles"],
+            instructions=d["instructions"],
+            loads=d["loads"],
+            stores=d["stores"],
+            lds_loads=d["lds_loads"],
+            branch=BranchStats(**d["branch"]),
+            hierarchy=HierarchyStats(**hier),
+            engine=EngineStats(**d["engine_stats"]),
+            l1d_accesses=d["l1d_accesses"],
+            l1d_misses=d["l1d_misses"],
+            l2_accesses=d["l2_accesses"],
+            l2_misses=d["l2_misses"],
+            dtlb_misses=d["dtlb_misses"],
+            engine_name=d["engine"],
+            extra=dict(d.get("extra") or {}),
+            telemetry=d.get("telemetry"),
+        )
+
 
 def _count_le(sorted_values: list[int], x: int) -> int:
     return bisect.bisect_right(sorted_values, x)

@@ -85,6 +85,87 @@ class TimingModel:
 
     # ------------------------------------------------------------------
 
+    # Execute-stage categories (meta field ``excat``).
+    _EX_LW, _EX_SW, _EX_PF, _EX_ALLOC, _EX_HALT, _EX_OTHER = range(6)
+    # Control-resolution kinds (meta field ``ctl``).
+    _CTL_NONE, _CTL_J, _CTL_JAL, _CTL_JR, _CTL_COND = range(5)
+    # Register-write kinds (meta field ``wrkind``).
+    _WR_NONE, _WR_PLAIN, _WR_ADDI, _WR_ADD = range(4)
+
+    def _instruction_meta(
+        self, fu_free: dict, fu_latency: dict, iline_mask: int
+    ) -> list[tuple]:
+        """Per-static-instruction tuples precomputing everything the hot
+        loop would otherwise re-derive per dynamic instruction: the I-cache
+        line, FU binding, execute/control/write dispatch categories, and
+        the operand fields.  Indexed by ``inst.index``."""
+        text_base = 0x0040_0000
+        unpipelined = (FuClass.INT_DIV, FuClass.FP_DIV)
+        no_rs2 = (Op.ADDI, Op.LW, Op.PF, Op.JPF, Op.SW)
+        insts = self.program.instructions
+        meta: list[tuple] = [()] * len(insts)
+        for si in insts:
+            op = si.op
+            fu = FU_CLASS[op]
+            frees = fu_free[fu] if fu is not FuClass.NONE else None
+            lat = fu_latency.get(fu, 1)
+            fu_occ = lat if fu in unpipelined else 1
+            cdelta = lat if frees is not None else 1
+            is_mem = op is Op.LW or op is Op.SW or op is Op.PF or op is Op.JPF
+            needs_rs2 = op not in no_rs2
+            if op is Op.LW:
+                excat = self._EX_LW
+            elif op is Op.SW:
+                excat = self._EX_SW
+            elif op is Op.PF or op is Op.JPF:
+                excat = self._EX_PF
+            elif op is Op.ALLOC:
+                excat = self._EX_ALLOC
+            elif op is Op.HALT:
+                excat = self._EX_HALT
+            else:
+                excat = self._EX_OTHER
+            if op is Op.JR:
+                ctl = self._CTL_JR
+            elif si.target is None:
+                ctl = self._CTL_NONE
+            elif op is Op.J:
+                ctl = self._CTL_J
+            elif op is Op.JAL:
+                ctl = self._CTL_JAL
+            else:
+                ctl = self._CTL_COND
+            if op is Op.LW or op is Op.SW or op is Op.PF or op is Op.JPF:
+                wrkind = self._WR_NONE  # handled by their own excat branches
+            elif si.rd and fu is not FuClass.NONE:
+                if op is Op.ADDI:
+                    wrkind = self._WR_ADDI
+                elif op is Op.ADD:
+                    wrkind = self._WR_ADD
+                else:
+                    wrkind = self._WR_PLAIN
+            else:
+                wrkind = self._WR_NONE
+            meta[si.index] = (
+                (text_base + 4 * si.index) & iline_mask,  # 0: I-cache line
+                is_mem,                                   # 1
+                needs_rs2,                                # 2
+                frees,                                    # 3: FU scoreboard
+                fu_occ,                                   # 4: FU occupancy
+                cdelta,                                   # 5: issue->complete
+                excat,                                    # 6
+                si.rs1,                                   # 7
+                si.rs2,                                   # 8
+                si.rd,                                    # 9
+                ctl,                                      # 10
+                si.target,                                # 11
+                si.tag == "lds",                          # 12
+                si.index,                                 # 13
+                (op.name, si.tag),                        # 14: stall key
+                wrkind,                                   # 15
+            )
+        return meta
+
     def run(self) -> SimResult:
         cfg = self.cfg
         engine = self.engine
@@ -93,11 +174,7 @@ class TimingModel:
         bpred = self.bpred
         fu_cfg = cfg.func_units
 
-        interp = (
-            Interpreter(self.program, max_steps=self._max_steps)
-            if self._max_steps
-            else Interpreter(self.program)
-        )
+        interp = Interpreter(self.program, max_steps=self._max_steps)
 
         # Register scoreboard and (optional) load provenance.
         reg_ready = [0] * NUM_REGS
@@ -109,6 +186,8 @@ class TimingModel:
         # Window / LSQ occupancy (commit times of in-flight instructions).
         rob: deque[int] = deque()
         lsq: deque[int] = deque()
+        rob_append, rob_popleft = rob.append, rob.popleft
+        lsq_append, lsq_popleft = lsq.append, lsq.popleft
         window = cfg.window
         lsq_entries = cfg.lsq_entries
 
@@ -121,10 +200,14 @@ class TimingModel:
         line_ready = 0
         iline_mask = ~(cfg.il1.line - 1)
         front = cfg.front_pipeline_depth
+        il1_latency = cfg.il1.latency
+        inst_fetch = hierarchy.inst_fetch
+        data_access = hierarchy.data_access
 
         # Issue bandwidth and functional units.
         issue_width = cfg.issue_width
         issued_at: dict[int, int] = {}
+        issued_get = issued_at.get
         fu_free: dict[int, list[int]] = {
             FuClass.INT_ALU: [0] * fu_cfg.int_alu,
             FuClass.INT_MUL: [0] * fu_cfg.int_mul,
@@ -143,11 +226,12 @@ class TimingModel:
             FuClass.FP_DIV: fu_cfg.fp_div_latency,
             FuClass.MEM_PORT: fu_cfg.mem_port_latency,
         }
-        unpipelined = (FuClass.INT_DIV, FuClass.FP_DIV)
+        meta = self._instruction_meta(fu_free, fu_latency, iline_mask)
 
         # Store tracking for LSQ semantics.
         store_addr_floor = 0  # prefix max of store address-ready times
         pending_stores: dict[int, tuple[int, int]] = {}  # addr -> (data_ready, commit)
+        ps_get = pending_stores.get
 
         # Commit state.
         last_commit = 0
@@ -156,31 +240,42 @@ class TimingModel:
         commit_width = cfg.commit_width
 
         mispredict_penalty = cfg.branch_pred.misprediction_penalty
-        perfect = cfg.perfect_data_memory
+        alloc_latency = cfg.alloc_latency
         trace = self.telemetry.trace if self.telemetry is not None else None
+        attribute_stalls = self.attribute_stalls
+
+        predict_cond = bpred.predict_cond
+        predict_jump = bpred.predict_jump
+        predict_return = bpred.predict_return
+        on_call = bpred.on_call
+        on_load_issue = engine.on_load_issue
+        on_load_commit = engine.on_load_commit
+        on_sw_prefetch = engine.on_sw_prefetch
 
         n_committed = 0
         n_loads = 0
         n_stores = 0
         n_lds_loads = 0
-        text_base = 0x0040_0000
 
-        _LW, _SW, _PF, _JPF = Op.LW, Op.SW, Op.PF, Op.JPF
-        _ADD, _ADDI, _ALLOC, _HALT = Op.ADD, Op.ADDI, Op.ALLOC, Op.HALT
-        _J, _JAL, _JR = Op.J, Op.JAL, Op.JR
+        _EX_LW, _EX_SW, _EX_PF = self._EX_LW, self._EX_SW, self._EX_PF
+        _EX_ALLOC, _EX_HALT = self._EX_ALLOC, self._EX_HALT
+        _CTL_J, _CTL_JAL, _CTL_JR, _CTL_COND = (
+            self._CTL_J, self._CTL_JAL, self._CTL_JR, self._CTL_COND
+        )
+        _WR_NONE, _WR_ADDI, _WR_ADD = self._WR_NONE, self._WR_ADDI, self._WR_ADD
 
         for inst, addr, value, taken in interp.run():
-            op = inst.op
+            (line, is_mem, needs_rs2, frees, fu_occ, cdelta, excat,
+             rs1, rs2, rd, ctl, target, is_lds, idx, attr_key,
+             wrkind) = meta[inst.index]
 
             # ---------------- fetch ----------------
-            pc_addr = text_base + 4 * inst.index
-            line = pc_addr & iline_mask
             t = fetch_cycle
             if redirect_floor > t:
                 t = redirect_floor
             if line != cur_line:
                 cur_line = line
-                line_ready = hierarchy.inst_fetch(line, t) - cfg.il1.latency
+                line_ready = inst_fetch(line, t) - il1_latency
             if line_ready > t:
                 t = line_ready
             if t > fetch_cycle:
@@ -200,37 +295,28 @@ class TimingModel:
             # ---------------- dispatch ----------------
             dispatch = fetch_time + front
             if len(rob) >= window:
-                head = rob.popleft()
+                head = rob_popleft()
                 if head > dispatch:
                     dispatch = head
-            is_mem = op is _LW or op is _SW or op is _PF or op is _JPF
             if is_mem and len(lsq) >= lsq_entries:
-                head = lsq.popleft()
+                head = lsq_popleft()
                 if head > dispatch:
                     dispatch = head
 
             # ---------------- operand readiness ----------------
             ready = dispatch + _DISPATCH_EXTRA
-            r = reg_ready[inst.rs1]
+            r = reg_ready[rs1]
             if r > ready:
                 ready = r
-            if (
-                op is not _ADDI
-                and op is not _LW
-                and op is not _PF
-                and op is not _JPF
-                and op is not _SW
-            ):
-                r = reg_ready[inst.rs2]
+            if needs_rs2:
+                r = reg_ready[rs2]
                 if r > ready:
                     ready = r
             # A store's address generation does not wait for its data; the
             # data register is folded in at completion below.
 
             # ---------------- issue (width + FU) ----------------
-            fu = FU_CLASS[op]
-            if fu is not FuClass.NONE:
-                frees = fu_free[fu]
+            if frees is not None:
                 best = 0
                 best_t = frees[0]
                 for k in range(1, len(frees)):
@@ -239,19 +325,18 @@ class TimingModel:
                         best = k
                 if best_t > ready:
                     ready = best_t
-                while issued_at.get(ready, 0) >= issue_width:
+                cnt = issued_get(ready, 0)
+                while cnt >= issue_width:
                     ready += 1
-                issued_at[ready] = issued_at.get(ready, 0) + 1
-                frees[best] = ready + (
-                    fu_latency[fu] if fu in unpipelined else 1
-                )
+                    cnt = issued_get(ready, 0)
+                issued_at[ready] = cnt + 1
+                frees[best] = ready + fu_occ
             issue = ready
 
             # ---------------- execute ----------------
-            if op is _LW:
+            if excat == _EX_LW:
                 n_loads += 1
-                lds = inst.tag == "lds"
-                if lds:
+                if is_lds:
                     n_lds_loads += 1
                 start = issue
                 if store_addr_floor > start:
@@ -259,56 +344,37 @@ class TimingModel:
                 if trace is not None:
                     trace.instant(
                         "load-issue", start, cat="core",
-                        pc=inst.index, addr=addr, lds=lds,
+                        pc=idx, addr=addr, lds=is_lds,
                     )
                 if issue_hook:
-                    engine.on_load_issue(inst, addr, start)
-                fwd = pending_stores.get(addr)
+                    on_load_issue(inst, addr, start)
+                fwd = ps_get(addr)
                 if fwd is not None and fwd[1] > start:
                     complete = max(start, fwd[0]) + 1
                 else:
-                    complete = hierarchy.data_access(addr, start, write=False, lds=lds)
-            elif op is _SW:
+                    complete = data_access(addr, start, write=False, lds=is_lds)
+            elif excat == _EX_SW:
                 n_stores += 1
                 # Address is known at issue (AGU); later loads wait only for
                 # the address, not the data.
                 if issue > store_addr_floor:
                     store_addr_floor = issue
-                data_ready = reg_ready[inst.rs2]
+                data_ready = reg_ready[rs2]
                 complete = (data_ready if data_ready > issue else issue) + 1
-            elif op is _PF or op is _JPF:
-                engine.on_sw_prefetch(inst, addr, issue)
+            elif excat == _EX_PF:
+                on_sw_prefetch(inst, addr, issue)
                 complete = issue + 1
-            elif op is _ALLOC:
-                complete = issue + cfg.alloc_latency
-            elif op is _HALT:
+            elif excat == _EX_ALLOC:
+                complete = issue + alloc_latency
+            elif excat == _EX_HALT:
                 complete = dispatch
-            elif fu is FuClass.NONE:
-                complete = issue + 1
             else:
-                complete = issue + fu_latency[fu]
+                complete = issue + cdelta
 
             # ---------------- control resolution ----------------
-            if inst.target is not None or op is _JR:
-                if op is _J:
-                    if not bpred.predict_jump(inst.index, inst.target):
-                        df = fetch_time + front
-                        if df > redirect_floor:
-                            redirect_floor = df
-                elif op is _JAL:
-                    known = bpred.predict_jump(inst.index, inst.target)
-                    bpred.on_call(inst.index + 1)
-                    if not known:
-                        df = fetch_time + front
-                        if df > redirect_floor:
-                            redirect_floor = df
-                elif op is _JR:
-                    if not bpred.predict_return(value):
-                        rf = complete + mispredict_penalty
-                        if rf > redirect_floor:
-                            redirect_floor = rf
-                else:  # conditional branch
-                    dir_ok, tgt_ok = bpred.predict_cond(inst.index, taken, inst.target)
+            if ctl:
+                if ctl == _CTL_COND:
+                    dir_ok, tgt_ok = predict_cond(idx, taken, target)
                     if not dir_ok:
                         rf = complete + mispredict_penalty
                         if rf > redirect_floor:
@@ -317,6 +383,23 @@ class TimingModel:
                         df = fetch_time + front
                         if df > redirect_floor:
                             redirect_floor = df
+                elif ctl == _CTL_J:
+                    if not predict_jump(idx, target):
+                        df = fetch_time + front
+                        if df > redirect_floor:
+                            redirect_floor = df
+                elif ctl == _CTL_JAL:
+                    known = predict_jump(idx, target)
+                    on_call(idx + 1)
+                    if not known:
+                        df = fetch_time + front
+                        if df > redirect_floor:
+                            redirect_floor = df
+                else:  # _CTL_JR
+                    if not predict_return(value):
+                        rf = complete + mispredict_penalty
+                        if rf > redirect_floor:
+                            redirect_floor = rf
 
             # ---------------- commit (in order, width-limited) ----------------
             prev_commit = last_commit
@@ -331,49 +414,48 @@ class TimingModel:
                     commit_count = 1
                 ct = commit_cycle
             last_commit = ct
-            rob.append(ct)
+            rob_append(ct)
             if is_mem:
-                lsq.append(ct)
-            if self.attribute_stalls:
+                lsq_append(ct)
+            if attribute_stalls:
                 delta = ct - prev_commit
                 if delta:
-                    key = (op.name, inst.tag)
                     attr = self.stall_attribution
-                    attr[key] = attr.get(key, 0) + delta
+                    attr[attr_key] = attr.get(attr_key, 0) + delta
 
             # ---------------- post-commit effects ----------------
-            rd = inst.rd
-            if op is _SW:
+            if excat == _EX_SW:
                 timing_mem_store(addr, value)
                 pending_stores[addr] = (complete, ct)
                 if len(pending_stores) > 8192:
                     pending_stores = {
                         a: v for a, v in pending_stores.items() if v[1] > ct
                     }
-                hierarchy.data_access(addr, ct, write=True)
-            elif op is _LW:
+                    ps_get = pending_stores.get
+                data_access(addr, ct, write=True)
+            elif excat == _EX_LW:
                 if track_dataflow:
                     # The engine reacts when the value arrives (completion);
                     # DBP launches chained prefetches off completed loads.
-                    engine.on_load_commit(
-                        inst, addr, value, complete, src_pc[inst.rs1], src_val[inst.rs1]
+                    on_load_commit(
+                        inst, addr, value, complete, src_pc[rs1], src_val[rs1]
                     )
-                    src_pc[rd] = inst.index
+                    src_pc[rd] = idx
                     src_val[rd] = value
                 reg_ready[rd] = complete
-            elif rd and fu is not FuClass.NONE and op is not _PF and op is not _JPF:
+            elif wrkind != _WR_NONE:
                 reg_ready[rd] = complete
                 if track_dataflow:
-                    if op is _ADDI:
-                        src_pc[rd] = src_pc[inst.rs1]
-                        src_val[rd] = src_val[inst.rs1]
-                    elif op is _ADD:
-                        if src_pc[inst.rs1] is not None:
-                            src_pc[rd] = src_pc[inst.rs1]
-                            src_val[rd] = src_val[inst.rs1]
+                    if wrkind == _WR_ADDI:
+                        src_pc[rd] = src_pc[rs1]
+                        src_val[rd] = src_val[rs1]
+                    elif wrkind == _WR_ADD:
+                        if src_pc[rs1] is not None:
+                            src_pc[rd] = src_pc[rs1]
+                            src_val[rd] = src_val[rs1]
                         else:
-                            src_pc[rd] = src_pc[inst.rs2]
-                            src_val[rd] = src_val[inst.rs2]
+                            src_pc[rd] = src_pc[rs2]
+                            src_val[rd] = src_val[rs2]
                     else:
                         src_pc[rd] = None
                         src_val[rd] = None
@@ -382,6 +464,7 @@ class TimingModel:
             if not n_committed % 65536 and len(issued_at) > 200_000:
                 floor = dispatch - 4 * window
                 issued_at = {c: k for c, k in issued_at.items() if c >= floor}
+                issued_get = issued_at.get
 
         # ------------------------------------------------------------------
         cycles = last_commit

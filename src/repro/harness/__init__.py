@@ -1,6 +1,17 @@
 """Experiment harness: scheme runner, per-figure experiments, reporting."""
 
 from .analysis import StallLine, StallReport, stall_report
+from .cache import ResultCache, code_fingerprint, spec_key
+from .executor import (
+    CellResult,
+    RunSpec,
+    ScheduledRun,
+    SweepError,
+    SweepExecutor,
+    SweepPlan,
+    SweepResults,
+    error_row,
+)
 from .experiments import (
     FIGURE4_SUBJECTS,
     MEMORY_BOUND,
@@ -20,8 +31,19 @@ from .runner import SCHEMES, BenchmarkRunner, SchemeRun, run_scheme, scheme_plan
 
 __all__ = [
     "BenchmarkRunner",
+    "CellResult",
+    "ResultCache",
+    "RunSpec",
+    "ScheduledRun",
     "StallLine",
     "StallReport",
+    "SweepError",
+    "SweepExecutor",
+    "SweepPlan",
+    "SweepResults",
+    "code_fingerprint",
+    "error_row",
+    "spec_key",
     "stall_report",
     "FIGURE4_SUBJECTS",
     "MEMORY_BOUND",

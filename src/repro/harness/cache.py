@@ -1,0 +1,193 @@
+"""Content-addressed on-disk simulation result cache.
+
+Every experiment cell (one ``simulate()`` call) is identified by a
+SHA-256 key over the *complete* set of inputs that determine its outcome:
+
+* the canonicalized :class:`~repro.config.MachineConfig` (every nested
+  dataclass field, via ``dataclasses.asdict``),
+* the workload name, its parameters, and the program variant,
+* the prefetch engine name,
+* a fingerprint of the simulator source code (every ``.py`` file in the
+  packages that influence simulation results), so any change to the ISA,
+  memory, CPU, prefetch, or workload code invalidates prior entries while
+  harness/doc/test changes do not.
+
+The value is the ``repro.sim_result/1`` artifact (``SimResult.to_dict``)
+written atomically; a hit deserializes back to a ``SimResult`` that
+compares equal to the cold run's (modulo raw ``miss_intervals`` samples,
+which are never cached).  Hit/miss/write counters are registered in a
+:class:`~repro.obs.metrics.MetricRegistry` (the PR-1 ``obs`` subsystem),
+so sweeps can report cache effectiveness alongside simulation metrics.
+
+Cache location: ``$REPRO_CACHE_DIR`` when set, else ``.repro_cache/``
+under the current working directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from ..cpu.stats import SimResult
+from ..obs import MetricRegistry, artifact, schema_kind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .executor import RunSpec
+
+#: Subpackages of ``repro`` whose source participates in the code
+#: fingerprint (everything that can change simulated cycle counts).
+_FINGERPRINT_PACKAGES = ("isa", "mem", "cpu", "prefetch", "core", "workloads")
+_FINGERPRINT_MODULES = ("config.py", "errors.py")
+
+_fingerprint_cache: str | None = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the simulation-relevant source tree (memoized)."""
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        root = Path(__file__).resolve().parent.parent  # src/repro
+        h = hashlib.sha256()
+        files: list[Path] = []
+        for pkg in _FINGERPRINT_PACKAGES:
+            files.extend((root / pkg).rglob("*.py"))
+        files.extend(root / m for m in _FINGERPRINT_MODULES)
+        for path in sorted(files):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(path.read_bytes())
+        _fingerprint_cache = h.hexdigest()
+    return _fingerprint_cache
+
+
+def canonical_spec(spec: "RunSpec") -> dict[str, Any]:
+    """The JSON-stable identity of one cell (the hash pre-image)."""
+    return {
+        "benchmark": spec.benchmark,
+        "params": {k: v for k, v in spec.params},
+        "variant": spec.variant,
+        "engine": spec.engine,
+        "config": dataclasses.asdict(spec.cfg),
+        "code": code_fingerprint(),
+    }
+
+
+def spec_key(spec: "RunSpec") -> str:
+    blob = json.dumps(canonical_spec(spec), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk ``key -> SimResult`` store with obs-registry counters."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        registry: MetricRegistry | None = None,
+    ) -> None:
+        self.root = Path(
+            root or os.environ.get("REPRO_CACHE_DIR") or ".repro_cache"
+        )
+        self.registry = registry or MetricRegistry()
+        self._hits = self.registry.counter(
+            "cache.hits", help="simulation cells served from the result cache"
+        )
+        self._misses = self.registry.counter(
+            "cache.misses", help="simulation cells not found in the result cache"
+        )
+        self._writes = self.registry.counter(
+            "cache.writes", help="simulation results stored into the cache"
+        )
+        self._invalid = self.registry.counter(
+            "cache.invalid", help="unreadable/incompatible cache entries skipped"
+        )
+
+    # ------------------------------------------------------------------
+
+    def key(self, spec: "RunSpec") -> str:
+        return spec_key(spec)
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec: "RunSpec") -> SimResult | None:
+        """The cached :class:`SimResult` for ``spec``, or None on a miss."""
+        path = self.path(self.key(spec))
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            self._misses.inc()
+            return None
+        try:
+            if schema_kind(doc) != "sim_result":
+                raise ValueError(f"unexpected schema {doc.get('schema')!r}")
+            result = SimResult.from_dict(doc["result"])
+        except (KeyError, TypeError, ValueError):
+            # Incompatible or corrupt entry: treat as a miss and let the
+            # fresh result overwrite it.
+            self._invalid.inc()
+            self._misses.inc()
+            return None
+        self._hits.inc()
+        return result
+
+    def put(self, spec: "RunSpec", result: SimResult) -> Path:
+        """Store ``result`` under ``spec``'s key (atomic rename)."""
+        key = self.key(spec)
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = artifact(
+            "sim_result",
+            {"spec": canonical_spec(spec), "result": result.to_dict()},
+        )
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(doc, f, indent=1)
+                f.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def writes(self) -> int:
+        return self._writes.value
+
+    def note_write(self) -> None:
+        """Executor hook: count a successful :meth:`put`."""
+        self._writes.inc()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self._hits.value,
+            "misses": self._misses.value,
+            "writes": self._writes.value,
+            "invalid": self._invalid.value,
+        }
+
+    def describe(self) -> str:
+        s = self.stats()
+        return (
+            f"result cache at {self.root}: {s['hits']} hits, "
+            f"{s['misses']} misses, {s['writes']} writes"
+        )

@@ -1,0 +1,381 @@
+"""Parallel, cached sweep execution for the experiment harness.
+
+Every paper artifact (Table 1, Figures 4-7, the X1/X2 extensions) is a
+matrix of independent simulations.  This module decomposes such a matrix
+into :class:`RunSpec` cells — one ``simulate()`` call each — and executes
+the deduplicated plan either serially (the default, bit-identical to the
+historical single-process path) or fanned out over a
+``ProcessPoolExecutor`` (``jobs > 1``).  Guarantees:
+
+* **Deterministic ordering** — results are keyed by spec and assembled in
+  plan order, so serial and parallel sweeps produce identical rows.
+* **Work sharing** — identical cells (e.g. the baseline compute-time run
+  needed by the base, hardware, and dbp schemes) are planned once; a
+  :class:`~repro.harness.cache.ResultCache` extends the sharing across
+  processes and sweeps.
+* **Error isolation** — a cell that raises becomes an error
+  :class:`CellResult` (carrying the traceback) instead of aborting the
+  sweep; experiment assembly turns it into an error row.
+* **Narrated progress** — an optional ``progress`` callable receives one
+  line per completed cell.
+
+Workers rebuild the workload program from ``(benchmark, params, variant)``
+rather than unpickling it: workload builds are deterministic, programs are
+large, and the rebuild is what the cache key already identifies.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from ..config import MachineConfig
+from ..core.characterization import characterize
+from ..cpu.simulator import simulate
+from ..cpu.stats import SimResult
+from ..errors import ReproError
+from ..workloads import get_workload
+from .cache import ResultCache
+from .runner import SchemeRun, scheme_plan
+
+Progress = Callable[[str], None]
+
+
+class SweepError(ReproError):
+    """An experiment asked for the result of a failed cell."""
+
+
+def _freeze_params(params: dict[str, Any] | None) -> tuple[tuple[str, Any], ...]:
+    return tuple(sorted((params or {}).items()))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation cell: a (benchmark, variant, engine, config, params)
+    point of a sweep.  Hashable — identical cells deduplicate in a plan
+    and address the same on-disk cache entry.
+
+    ``kind`` selects the worker: ``"sim"`` runs the timing simulation and
+    returns a :class:`SimResult`; ``"table1"`` runs the Table-1
+    characterization (miss-interval collection plus the compute-time run)
+    and returns the row dict.
+    """
+
+    benchmark: str
+    variant: str
+    engine: str
+    cfg: MachineConfig
+    params: tuple[tuple[str, Any], ...] = ()
+    kind: str = "sim"
+
+    @classmethod
+    def make(
+        cls,
+        benchmark: str,
+        variant: str,
+        engine: str,
+        cfg: MachineConfig,
+        params: dict[str, Any] | None = None,
+        kind: str = "sim",
+    ) -> "RunSpec":
+        return cls(benchmark, variant, engine, cfg, _freeze_params(params), kind)
+
+    @property
+    def params_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def describe(self) -> str:
+        label = f"{self.benchmark}[{self.variant}]"
+        if self.kind != "sim":
+            return f"{label} {self.kind}"
+        tag = " (compute)" if self.cfg.perfect_data_memory else ""
+        return f"{label} x {self.engine}{tag}"
+
+
+@dataclass
+class CellResult:
+    """Outcome of one executed (or cache-served) cell."""
+
+    spec: RunSpec
+    result: Any = None          # SimResult for "sim", row dict for "table1"
+    error: str | None = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _run_cell(spec: RunSpec) -> tuple[str, Any]:
+    """Worker body: build the program and simulate.  Must stay a
+    module-level function (pickled by name into pool workers); never
+    raises — failures come back as ``("error", traceback)``."""
+    try:
+        workload = get_workload(spec.benchmark, **dict(spec.params))
+        program = workload.build(spec.variant).program
+        if spec.kind == "table1":
+            row, __ = characterize(
+                spec.benchmark, program, spec.cfg,
+                structure=workload.structure, idioms=workload.idioms,
+            )
+            return ("ok", row.as_dict())
+        result = simulate(program, spec.cfg, engine=spec.engine)
+        return ("ok", result)
+    except Exception:
+        return ("error", traceback.format_exc())
+
+
+class SweepExecutor:
+    """Executes a deduplicated list of cells, serially or in a pool."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        progress: Progress | None = None,
+    ) -> None:
+        self.jobs = max(1, jobs)
+        self.cache = cache
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+
+    def _narrate(self, done: int, total: int, cell: CellResult) -> None:
+        if self.progress is None:
+            return
+        if not cell.ok:
+            status = "ERROR"
+        elif cell.cached:
+            status = "cache hit"
+        elif cell.spec.kind == "sim":
+            status = f"{cell.result.cycles} cycles"
+        else:
+            status = "done"
+        self.progress(f"[{done}/{total}] {cell.spec.describe()}: {status}")
+
+    def _finish(self, cell: CellResult, done: int, total: int) -> CellResult:
+        cache = self.cache
+        if (
+            cache is not None
+            and cell.ok
+            and not cell.cached
+            and cell.spec.kind == "sim"
+        ):
+            cache.put(cell.spec, cell.result)
+            cache.note_write()
+        self._narrate(done, total, cell)
+        return cell
+
+    def execute(self, specs: Iterable[RunSpec]) -> dict[RunSpec, CellResult]:
+        """Run every distinct spec; returns ``spec -> CellResult``."""
+        plan: list[RunSpec] = []
+        seen: set[RunSpec] = set()
+        for spec in specs:
+            if spec not in seen:
+                seen.add(spec)
+                plan.append(spec)
+
+        results: dict[RunSpec, CellResult] = {}
+        todo: list[RunSpec] = []
+        cache = self.cache
+        for spec in plan:
+            cached = (
+                cache.get(spec)
+                if cache is not None and spec.kind == "sim"
+                else None
+            )
+            if cached is not None:
+                results[spec] = CellResult(spec, cached, cached=True)
+            else:
+                todo.append(spec)
+        total = len(plan)
+        done = 0
+        for spec, cell in results.items():
+            done += 1
+            self._narrate(done, total, cell)
+
+        if self.jobs == 1 or len(todo) <= 1:
+            for spec in todo:
+                status, payload = _run_cell(spec)
+                cell = CellResult(
+                    spec,
+                    payload if status == "ok" else None,
+                    error=None if status == "ok" else payload,
+                )
+                done += 1
+                results[spec] = self._finish(cell, done, total)
+        else:
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(todo))) as pool:
+                futures = {pool.submit(_run_cell, spec): spec for spec in todo}
+                pending = set(futures)
+                while pending:
+                    finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for fut in finished:
+                        spec = futures[fut]
+                        try:
+                            status, payload = fut.result()
+                        except Exception:
+                            # A worker died (or the payload failed to
+                            # unpickle); isolate it as an error cell.
+                            status, payload = "error", traceback.format_exc()
+                        cell = CellResult(
+                            spec,
+                            payload if status == "ok" else None,
+                            error=None if status == "ok" else payload,
+                        )
+                        done += 1
+                        results[spec] = self._finish(cell, done, total)
+        return results
+
+
+# ----------------------------------------------------------------------
+# Scheme-level planning (what the figure experiments consume)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScheduledRun:
+    """One SchemeRun-to-be: a timing cell plus its compute-time cell."""
+
+    benchmark: str
+    scheme: str
+    variant: str
+    timing: RunSpec
+    compute: RunSpec
+
+
+class SweepPlan:
+    """Collects cells for one experiment, then executes them at once.
+
+    ``add_run``/``add_variant_run`` mirror ``BenchmarkRunner.run`` /
+    ``run_variant`` but defer execution: each returns a
+    :class:`ScheduledRun` handle that resolves to a full
+    :class:`~repro.harness.runner.SchemeRun` after :meth:`execute`.
+    Compute-time cells (perfect data memory, no engine) are shared across
+    schemes of the same program variant by deduplication.
+    """
+
+    def __init__(self, cfg: MachineConfig) -> None:
+        self.cfg = cfg
+        self._specs: list[RunSpec] = []
+
+    def add(self, spec: RunSpec) -> RunSpec:
+        self._specs.append(spec)
+        return spec
+
+    def add_run(
+        self,
+        benchmark: str,
+        scheme: str,
+        params: dict[str, Any] | None = None,
+        idiom: str | None = None,
+        cfg: MachineConfig | None = None,
+    ) -> ScheduledRun:
+        cfg = cfg or self.cfg
+        workload = get_workload(benchmark, **(params or {}))
+        variant, engine = scheme_plan(workload, scheme, idiom)
+        return self._schedule(benchmark, scheme, variant, engine, params, cfg)
+
+    def add_variant_run(
+        self,
+        benchmark: str,
+        variant: str,
+        engine: str,
+        params: dict[str, Any] | None = None,
+        cfg: MachineConfig | None = None,
+    ) -> ScheduledRun:
+        """Arbitrary variant/engine pairing (Figure 4 idiom comparison)."""
+        cfg = cfg or self.cfg
+        return self._schedule(
+            benchmark, f"{engine}:{variant}", variant, engine, params, cfg
+        )
+
+    def add_table1(
+        self,
+        benchmark: str,
+        params: dict[str, Any] | None = None,
+        cfg: MachineConfig | None = None,
+    ) -> RunSpec:
+        return self.add(
+            RunSpec.make(
+                benchmark, "baseline", "none", cfg or self.cfg, params,
+                kind="table1",
+            )
+        )
+
+    def _schedule(
+        self,
+        benchmark: str,
+        scheme: str,
+        variant: str,
+        engine: str,
+        params: dict[str, Any] | None,
+        cfg: MachineConfig,
+    ) -> ScheduledRun:
+        timing = self.add(RunSpec.make(benchmark, variant, engine, cfg, params))
+        compute = self.add(
+            RunSpec.make(benchmark, variant, "none", cfg.perfect(), params)
+        )
+        return ScheduledRun(benchmark, scheme, variant, timing, compute)
+
+    def execute(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        progress: Progress | None = None,
+    ) -> "SweepResults":
+        executor = SweepExecutor(jobs=jobs, cache=cache, progress=progress)
+        return SweepResults(executor.execute(self._specs))
+
+
+class SweepResults:
+    """Spec-keyed results with SchemeRun assembly."""
+
+    def __init__(self, cells: dict[RunSpec, CellResult]) -> None:
+        self.cells = cells
+
+    def cell(self, spec: RunSpec) -> CellResult:
+        return self.cells[spec]
+
+    def error(self, run: ScheduledRun | RunSpec) -> str | None:
+        """The first error among the cells backing ``run`` (None if ok)."""
+        if isinstance(run, RunSpec):
+            return self.cells[run].error
+        return self.cells[run.timing].error or self.cells[run.compute].error
+
+    def scheme_run(self, run: ScheduledRun) -> SchemeRun:
+        """Assemble the SchemeRun for ``run``; raises :class:`SweepError`
+        if either backing cell failed."""
+        err = self.error(run)
+        if err is not None:
+            raise SweepError(
+                f"{run.benchmark}/{run.scheme} failed:\n{err}"
+            )
+        timing: SimResult = self.cells[run.timing].result
+        compute: SimResult = self.cells[run.compute].result
+        return SchemeRun(
+            benchmark=run.benchmark,
+            scheme=run.scheme,
+            variant=run.variant,
+            total=timing.cycles,
+            compute=compute.cycles,
+            result=timing,
+        )
+
+
+def error_row(
+    benchmark: str,
+    scheme: str,
+    err: str,
+    label_key: str = "scheme",
+) -> dict[str, object]:
+    """A ragged table row standing in for a failed cell: the last line of
+    the traceback (the exception message) plus the full text."""
+    brief = err.strip().splitlines()[-1] if err.strip() else "unknown error"
+    return {
+        "benchmark": benchmark,
+        label_key: scheme,
+        "error": brief,
+        "error_detail": err,
+    }

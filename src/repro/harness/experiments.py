@@ -4,6 +4,14 @@ Every function returns plain data structures (lists of dicts) that the
 benchmark harnesses print with :mod:`repro.harness.reporting`, and that
 tests assert shape properties on.  See DESIGN.md section 4 for the
 experiment index and the expected shapes.
+
+All experiments route through the same plan → execute → assemble
+pipeline (:mod:`repro.harness.executor`): cells are planned up front,
+deduplicated (schemes of one benchmark share their compute-time run),
+optionally served from the on-disk :class:`~repro.harness.cache.
+ResultCache`, and executed serially or across ``jobs`` worker processes
+with identical row output either way.  A failed cell yields an error row
+(benchmark, scheme, error text) instead of aborting the sweep.
 """
 
 from __future__ import annotations
@@ -12,10 +20,10 @@ from dataclasses import replace
 from typing import Any
 
 from ..config import MachineConfig, bench_config
-from ..core.characterization import characterize
-from ..cpu.simulator import simulate
-from ..workloads import get_workload, workload_class, workload_names
-from .runner import SCHEMES, BenchmarkRunner
+from ..workloads import get_workload, workload_class
+from .cache import ResultCache
+from .executor import Progress, ScheduledRun, SweepPlan, SweepResults, error_row
+from .runner import SCHEMES
 
 #: The paper's benchmark suite (the `spmv` extension workload is opt-in).
 OLDEN = ("bh", "bisort", "em3d", "health", "mst", "perimeter", "power",
@@ -40,6 +48,16 @@ def small_params(name: str) -> dict[str, Any]:
     return workload_class(name).test_params()
 
 
+def _resolve(
+    results: SweepResults, sr: ScheduledRun
+) -> tuple[Any, str | None]:
+    """(SchemeRun, None) on success, (None, traceback) on failure."""
+    err = results.error(sr)
+    if err is not None:
+        return None, err
+    return results.scheme_run(sr), None
+
+
 # ----------------------------------------------------------------------
 # Table 1 — benchmark characterization
 # ----------------------------------------------------------------------
@@ -48,16 +66,24 @@ def table1(
     cfg: MachineConfig | None = None,
     benchmarks: tuple[str, ...] | None = None,
     params: dict[str, dict[str, Any]] | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    progress: Progress | None = None,
 ) -> list[dict[str, object]]:
     cfg = cfg or bench_config()
+    plan = SweepPlan(cfg)
+    cells = [
+        (name, plan.add_table1(name, (params or {}).get(name)))
+        for name in benchmarks or OLDEN
+    ]
+    results = plan.execute(jobs=jobs, cache=cache, progress=progress)
     rows = []
-    for name in benchmarks or OLDEN:
-        w = get_workload(name, **(params or {}).get(name, {}))
-        built = w.build("baseline")
-        row, __ = characterize(
-            name, built.program, cfg, structure=w.structure, idioms=w.idioms
-        )
-        rows.append(row.as_dict())
+    for name, spec in cells:
+        cell = results.cell(spec)
+        if cell.ok:
+            rows.append(cell.result)
+        else:
+            rows.append(error_row(name, "characterize", cell.error))
     return rows
 
 
@@ -69,29 +95,52 @@ def figure4(
     cfg: MachineConfig | None = None,
     subjects: dict[str, tuple[str, ...]] | None = None,
     params: dict[str, dict[str, Any]] | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    progress: Progress | None = None,
 ) -> list[dict[str, object]]:
     cfg = cfg or bench_config()
-    rows = []
+    plan = SweepPlan(cfg)
+    scheduled = []
     for name, idioms in (subjects or FIGURE4_SUBJECTS).items():
-        runner = BenchmarkRunner(name, cfg, (params or {}).get(name))
-        base = runner.run("base")
-        rows.append({
-            "benchmark": name, "config": "base", "normalized": 1.0,
-            "compute": base.compute, "memory": base.memory,
-        })
+        p = (params or {}).get(name)
+        workload = get_workload(name, **(p or {}))
+        base = plan.add_run(name, "base", p)
+        variant_runs = []
         for impl, engine in (("sw", "software"), ("coop", "cooperative")):
             for idiom in idioms:
                 variant = f"{impl}:{idiom}"
-                if variant not in runner.workload.variants:
+                if variant not in workload.variants:
                     continue
-                run = runner.run_variant(variant, engine)
-                rows.append({
-                    "benchmark": name,
-                    "config": variant,
-                    "normalized": round(run.normalized(base.total), 3),
-                    "compute": run.compute,
-                    "memory": run.memory,
-                })
+                variant_runs.append(plan.add_variant_run(name, variant, engine, p))
+        scheduled.append((name, base, variant_runs))
+    results = plan.execute(jobs=jobs, cache=cache, progress=progress)
+
+    rows = []
+    for name, base_sr, variant_runs in scheduled:
+        base, base_err = _resolve(results, base_sr)
+        if base_err is not None:
+            rows.append(error_row(name, "base", base_err, label_key="config"))
+        else:
+            rows.append({
+                "benchmark": name, "config": "base", "normalized": 1.0,
+                "compute": base.compute, "memory": base.memory,
+            })
+        for vsr in variant_runs:
+            run, err = _resolve(results, vsr)
+            if err is not None or base is None:
+                rows.append(error_row(
+                    name, vsr.variant, err or "baseline run failed",
+                    label_key="config",
+                ))
+                continue
+            rows.append({
+                "benchmark": name,
+                "config": vsr.variant,
+                "normalized": round(run.normalized(base.total), 3),
+                "compute": run.compute,
+                "memory": run.memory,
+            })
     return rows
 
 
@@ -104,15 +153,30 @@ def figure5(
     benchmarks: tuple[str, ...] | None = None,
     params: dict[str, dict[str, Any]] | None = None,
     schemes: tuple[str, ...] = SCHEMES,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    progress: Progress | None = None,
 ) -> list[dict[str, object]]:
     cfg = cfg or bench_config()
-    rows = []
+    plan = SweepPlan(cfg)
+    scheduled = []
     for name in benchmarks or OLDEN:
-        runner = BenchmarkRunner(name, cfg, (params or {}).get(name))
-        matrix = runner.run_matrix(schemes)
-        base = matrix["base"]
+        p = (params or {}).get(name)
+        per_scheme = {s: plan.add_run(name, s, p) for s in schemes}
+        # Normalization needs the baseline even when it is not displayed;
+        # deduplication makes this free when "base" is already in schemes.
+        base_sr = per_scheme.get("base") or plan.add_run(name, "base", p)
+        scheduled.append((name, per_scheme, base_sr))
+    results = plan.execute(jobs=jobs, cache=cache, progress=progress)
+
+    rows = []
+    for name, per_scheme, base_sr in scheduled:
+        base, base_err = _resolve(results, base_sr)
         for scheme in schemes:
-            run = matrix[scheme]
+            run, err = _resolve(results, per_scheme[scheme])
+            if err is not None or base is None:
+                rows.append(error_row(name, scheme, err or base_err or ""))
+                continue
             rows.append({
                 "benchmark": name,
                 "scheme": scheme,
@@ -129,9 +193,12 @@ def figure5_summary(rows: list[dict[str, object]]) -> list[dict[str, object]]:
     """The paper's headline averages over the memory-bound benchmarks."""
     out = []
     for scheme in ("software", "cooperative", "hardware", "dbp"):
+        # Degenerate tiny runs can round "normalized" to 0.0 (and error
+        # rows carry no metrics at all); both are skipped, not divided by.
         picked = [
             r for r in rows
             if r["scheme"] == scheme and r["benchmark"] in MEMORY_BOUND
+            and r.get("normalized")
         ]
         if not picked:
             continue
@@ -153,17 +220,29 @@ def figure6(
     cfg: MachineConfig | None = None,
     benchmarks: tuple[str, ...] | None = None,
     params: dict[str, dict[str, Any]] | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    progress: Progress | None = None,
 ) -> list[dict[str, object]]:
     cfg = cfg or bench_config()
-    rows = []
+    plan = SweepPlan(cfg)
+    scheduled = []
     for name in benchmarks or OLDEN:
-        runner = BenchmarkRunner(name, cfg, (params or {}).get(name))
-        matrix = runner.run_matrix()
+        p = (params or {}).get(name)
+        scheduled.append((name, {s: plan.add_run(name, s, p) for s in SCHEMES}))
+    results = plan.execute(jobs=jobs, cache=cache, progress=progress)
+
+    rows = []
+    for name, per_scheme in scheduled:
+        base, base_err = _resolve(results, per_scheme["base"])
         # Normalize by the *original* (baseline) program's instruction
         # count so added prefetch instructions do not bias the metric.
-        base_insts = matrix["base"].result.instructions
+        base_insts = base.result.instructions if base else 0
         for scheme in SCHEMES:
-            run = matrix[scheme]
+            run, err = _resolve(results, per_scheme[scheme])
+            if err is not None or not base_insts:
+                rows.append(error_row(name, scheme, err or base_err or ""))
+                continue
             rows.append({
                 "benchmark": name,
                 "scheme": scheme,
@@ -183,9 +262,13 @@ def figure7(
     latencies: tuple[int, ...] = (70, 280),
     intervals: tuple[int, ...] = (8, 16),
     params: dict[str, Any] | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    progress: Progress | None = None,
 ) -> list[dict[str, object]]:
     cfg = cfg or bench_config()
-    rows = []
+    plan = SweepPlan(cfg)
+    scheduled = []
     for latency in latencies:
         for interval in intervals:
             mcfg = replace(
@@ -194,21 +277,33 @@ def figure7(
             )
             wparams = dict(params or {})
             wparams["interval"] = interval
-            runner = BenchmarkRunner("health", mcfg, wparams)
-            matrix = runner.run_matrix()
-            base = matrix["base"]
-            for scheme in SCHEMES:
-                run = matrix[scheme]
-                rows.append({
-                    "latency": latency,
-                    "interval": interval,
-                    "scheme": scheme,
-                    "total": run.total,
-                    "normalized": round(run.normalized(base.total), 3),
-                    "mem_reduction%": round(
-                        100 * run.memory_reduction(base.memory), 1
-                    ),
-                })
+            per_scheme = {
+                s: plan.add_run("health", s, wparams, cfg=mcfg)
+                for s in SCHEMES
+            }
+            scheduled.append((latency, interval, per_scheme))
+    results = plan.execute(jobs=jobs, cache=cache, progress=progress)
+
+    rows = []
+    for latency, interval, per_scheme in scheduled:
+        base, base_err = _resolve(results, per_scheme["base"])
+        for scheme in SCHEMES:
+            run, err = _resolve(results, per_scheme[scheme])
+            if err is not None or base is None:
+                row = error_row("health", scheme, err or base_err or "")
+                row.update(latency=latency, interval=interval)
+                rows.append(row)
+                continue
+            rows.append({
+                "latency": latency,
+                "interval": interval,
+                "scheme": scheme,
+                "total": run.total,
+                "normalized": round(run.normalized(base.total), 3),
+                "mem_reduction%": round(
+                    100 * run.memory_reduction(base.memory), 1
+                ),
+            })
     return rows
 
 
@@ -221,18 +316,35 @@ def onchip_table_ablation(
     benchmarks: tuple[str, ...] = ("em3d", "health", "treeadd"),
     table_entries: int = 16384,
     params: dict[str, dict[str, Any]] | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    progress: Progress | None = None,
 ) -> list[dict[str, object]]:
     cfg = cfg or bench_config()
-    rows = []
+    onchip_cfg = replace(
+        cfg, prefetch=replace(cfg.prefetch, onchip_table_entries=table_entries)
+    )
+    plan = SweepPlan(cfg)
+    scheduled = []
     for name in benchmarks:
-        runner = BenchmarkRunner(name, cfg, (params or {}).get(name))
-        base = runner.run("base")
-        padding = runner.run("hardware")
-        onchip_cfg = replace(
-            cfg, prefetch=replace(cfg.prefetch, onchip_table_entries=table_entries)
-        )
-        onchip_runner = BenchmarkRunner(name, onchip_cfg, (params or {}).get(name))
-        onchip = onchip_runner.run("hardware")
+        p = (params or {}).get(name)
+        scheduled.append((
+            name,
+            plan.add_run(name, "base", p),
+            plan.add_run(name, "hardware", p),
+            plan.add_run(name, "hardware", p, cfg=onchip_cfg),
+        ))
+    results = plan.execute(jobs=jobs, cache=cache, progress=progress)
+
+    rows = []
+    for name, base_sr, padding_sr, onchip_sr in scheduled:
+        base, e1 = _resolve(results, base_sr)
+        padding, e2 = _resolve(results, padding_sr)
+        onchip, e3 = _resolve(results, onchip_sr)
+        err = e1 or e2 or e3
+        if err is not None:
+            rows.append(error_row(name, "hardware", err))
+            continue
         rows.append({
             "benchmark": name,
             "base": base.total,
@@ -250,15 +362,30 @@ def creation_overhead(
     cfg: MachineConfig | None = None,
     benchmarks: tuple[str, ...] = ("health", "treeadd"),
     params: dict[str, dict[str, Any]] | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    progress: Progress | None = None,
 ) -> list[dict[str, object]]:
     """A-priori slowdown of jump-pointer creation: the compute-time ratio
     of the instrumented program to the baseline (paper: ~12% for health)."""
     cfg = cfg or bench_config()
-    rows = []
+    plan = SweepPlan(cfg)
+    scheduled = []
     for name in benchmarks:
-        runner = BenchmarkRunner(name, cfg, (params or {}).get(name))
-        base = runner.run("base")
-        sw = runner.run("software")
+        p = (params or {}).get(name)
+        scheduled.append((
+            name, plan.add_run(name, "base", p), plan.add_run(name, "software", p)
+        ))
+    results = plan.execute(jobs=jobs, cache=cache, progress=progress)
+
+    rows = []
+    for name, base_sr, sw_sr in scheduled:
+        base, e1 = _resolve(results, base_sr)
+        sw, e2 = _resolve(results, sw_sr)
+        err = e1 or e2
+        if err is not None:
+            rows.append(error_row(name, "software", err))
+            continue
         rows.append({
             "benchmark": name,
             "variant": sw.variant,
@@ -271,25 +398,43 @@ def traversal_count_sweep(
     cfg: MachineConfig | None = None,
     passes: tuple[int, ...] = (1, 2, 4, 8),
     params: dict[str, Any] | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    progress: Progress | None = None,
 ) -> list[dict[str, object]]:
     """Hardware vs cooperative JPP (and DBP) on treeadd as the number of
     traversals grows: hardware's *jump-pointer* half forfeits the first
     pass, so at one pass it adds nothing over its DBP half and its
     advantage appears only with repetition (Section 4.2)."""
     cfg = cfg or bench_config()
-    rows = []
+    plan = SweepPlan(cfg)
+    scheduled = []
     for p in passes:
         wparams = dict(params or {})
         wparams["passes"] = p
-        runner = BenchmarkRunner("treeadd", cfg, wparams)
-        base = runner.run("base")
-        hw = runner.run("hardware")
-        coop = runner.run("cooperative")
-        dbp = runner.run("dbp")
+        scheduled.append((p, {
+            s: plan.add_run("treeadd", s, wparams)
+            for s in ("base", "hardware", "cooperative", "dbp")
+        }))
+    results = plan.execute(jobs=jobs, cache=cache, progress=progress)
+
+    rows = []
+    for p, per_scheme in scheduled:
+        runs = {}
+        err = None
+        for scheme, sr in per_scheme.items():
+            runs[scheme], e = _resolve(results, sr)
+            err = err or e
+        if err is not None:
+            row = error_row("treeadd", "sweep", err)
+            row["passes"] = p
+            rows.append(row)
+            continue
+        base = runs["base"]
         rows.append({
             "passes": p,
-            "hardware": round(hw.normalized(base.total), 3),
-            "cooperative": round(coop.normalized(base.total), 3),
-            "dbp": round(dbp.normalized(base.total), 3),
+            "hardware": round(runs["hardware"].normalized(base.total), 3),
+            "cooperative": round(runs["cooperative"].normalized(base.total), 3),
+            "dbp": round(runs["dbp"].normalized(base.total), 3),
         })
     return rows

@@ -153,8 +153,21 @@ class BenchmarkRunner:
             result=result,
         )
 
-    def run_matrix(self, schemes: tuple[str, ...] = SCHEMES) -> dict[str, SchemeRun]:
-        return {scheme: self.run(scheme) for scheme in schemes}
+    def run_matrix(
+        self,
+        schemes: tuple[str, ...] = SCHEMES,
+        telemetry_factory: Any | None = None,
+    ) -> dict[str, SchemeRun]:
+        """Run every scheme; ``telemetry_factory`` (e.g. ``repro.obs.
+        Telemetry``) is called once per scheme so each run records its own
+        outcome counters into ``SchemeRun.result.telemetry``."""
+        return {
+            scheme: self.run(
+                scheme,
+                telemetry=telemetry_factory() if telemetry_factory else None,
+            )
+            for scheme in schemes
+        }
 
 
 def run_scheme(

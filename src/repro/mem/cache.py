@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from ..config import CacheConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     accesses: int = 0
     hits: int = 0

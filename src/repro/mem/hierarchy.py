@@ -31,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..obs import Telemetry
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyStats:
     """Event and bandwidth counters for one simulation."""
 
@@ -56,6 +56,13 @@ class HierarchyStats:
 
 class MemoryHierarchy:
     """See module docstring."""
+
+    __slots__ = (
+        "cfg", "il1", "dl1", "l2", "itlb", "dtlb", "pb", "stats",
+        "_l2_bus_demand", "_l2_bus_all", "_mem_bus_demand", "_mem_bus_all",
+        "_mshr_done", "_inflight", "_pf_lines", "_pf_inflight", "_perfect",
+        "_demand_fill_estimate", "_obs", "_miss_hist", "_dl1_line_mask",
+    )
 
     def __init__(
         self,
@@ -102,6 +109,8 @@ class MemoryHierarchy:
         # Optional observability context (None = zero-overhead fast path).
         self._obs: "Telemetry | None" = None
         self._miss_hist = None
+        # L1 line mask, hoisted for the demand-access fast path.
+        self._dl1_line_mask = ~(cfg.dl1.line - 1)
 
     def set_telemetry(self, obs: "Telemetry | None") -> None:
         """Attach an observability context; registers this component's
@@ -218,7 +227,7 @@ class MemoryHierarchy:
 
         time += self.dtlb.translate(addr)
 
-        line = self.dl1.line_addr(addr)
+        line = addr & self._dl1_line_mask
         inflight = self._inflight.get(line)
         if inflight is not None and inflight > time:
             # Merge with an in-flight miss (possibly a late prefetch).
@@ -322,7 +331,7 @@ class MemoryHierarchy:
     def probe_cached(self, addr: int, time: int) -> bool:
         """True if the line holding ``addr`` is in L1, the prefetch buffer,
         or already in flight (no prefetch request would be generated)."""
-        line = self.dl1.line_addr(addr)
+        line = addr & self._dl1_line_mask
         if self.dl1.probe(line) or (self.pb is not None and self.pb.probe(line)):
             return True
         inflight = self._inflight.get(line)
@@ -338,7 +347,7 @@ class MemoryHierarchy:
         st.prefetches_requested += 1
         if self._perfect:
             return None
-        line = self.dl1.line_addr(addr)
+        line = addr & self._dl1_line_mask
         if self.dl1.probe(line) or (self.pb is not None and self.pb.probe(line)):
             st.prefetches_redundant += 1
             return None

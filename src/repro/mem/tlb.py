@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from ..config import TLBConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class TLBStats:
     accesses: int = 0
     misses: int = 0

@@ -1,0 +1,37 @@
+"""Golden cycle counts: the timing model's output is part of the repo's
+contract.
+
+``golden_cycles.json`` pins ``cycles``, ``compute`` (perfect-data-memory
+cycles) and ``instructions`` for every workload under every scheme at the
+test sizes.  Performance work on the interpreter/timing model must keep
+these bit-identical; a legitimate *model* change (one that intends to
+alter simulated behaviour) must regenerate the file and say so in the
+commit.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import small_config
+from repro.harness import BenchmarkRunner
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_cycles.json").read_text()
+)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_cycles(name):
+    entry = GOLDEN[name]
+    cfg = small_config()
+    runner = BenchmarkRunner(name, cfg, entry["params"])
+    for scheme, want in sorted(entry["schemes"].items()):
+        run = runner.run(scheme)
+        got = {
+            "cycles": run.total,
+            "compute": run.compute,
+            "instructions": run.result.instructions,
+        }
+        assert got == want, f"{name}/{scheme} diverged from golden"
