@@ -9,6 +9,9 @@ Examples::
     python -m repro figure4 | figure5 | figure6 | figure7 | x1 | x2
     python -m repro figure5 --jobs 4             # sweep across 4 processes
     python -m repro figure7 --no-cache           # ignore the on-disk cache
+    python -m repro figure5 --timeout 300 --retries 2   # robust long sweep
+    python -m repro figure5 --resume             # continue an interrupted sweep
+    python -m repro figure5 --inject-faults 'health=transient:2'  # fault drill
     python -m repro run treeadd --scheme software --param levels=9 --param passes=2
     python -m repro stats --json                 # telemetry artifact (JSON)
     python -m repro trace health --small -o health.trace.json
@@ -17,13 +20,17 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 
 from . import bench_config, table2_config, workload_names
 from .harness import (
     SCHEMES,
     BenchmarkRunner,
     ResultCache,
+    SweepExecutor,
+    SweepJournal,
     creation_overhead,
     figure4,
     figure5,
@@ -32,10 +39,11 @@ from .harness import (
     figure7,
     format_table,
     onchip_table_ablation,
+    parse_fault_plan,
     table1,
     traversal_count_sweep,
 )
-from .obs import EventTrace, Telemetry, artifact, dump_json
+from .obs import EventTrace, MetricRegistry, Telemetry, artifact, dump_json
 from .workloads import workload_class
 
 
@@ -203,21 +211,52 @@ def cmd_trace(args) -> int:
     return 0
 
 
-def _sweep_kwargs(args) -> dict:
-    """--jobs/--no-cache/--cache-dir plumbing shared by figure commands."""
+def _journal_path(args) -> Path:
+    """Default journal location: one file per figure command under the
+    cache root, so ``--resume`` needs no path bookkeeping."""
+    if args.journal:
+        return Path(args.journal)
+    root = Path(
+        args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or ".repro_cache"
+    )
+    return root / "journals" / f"{args.command}.jsonl"
+
+
+def _build_executor(args) -> SweepExecutor:
+    """--jobs/--cache/--timeout/--retries/--resume/--inject-faults
+    plumbing shared by figure commands.  One obs registry spans the
+    cache, the journal, and the executor so a single dump shows the
+    whole sweep's behaviour."""
+    registry = MetricRegistry()
     cache = None
     if not args.no_cache:
-        cache = ResultCache(args.cache_dir)
+        cache = ResultCache(args.cache_dir, registry=registry)
     progress = None
     if args.progress or args.jobs > 1:
         progress = lambda line: print(f"  {line}", file=sys.stderr)
-    return {"jobs": args.jobs, "cache": cache, "progress": progress}
+    journal = SweepJournal(_journal_path(args), registry=registry,
+                           resume=args.resume)
+    faults = parse_fault_plan(args.inject_faults)
+    if faults is not None:
+        print(f"  injecting faults: {faults.describe()}", file=sys.stderr)
+    return SweepExecutor(
+        jobs=args.jobs,
+        cache=cache,
+        progress=progress,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        journal=journal,
+        faults=faults,
+        registry=registry,
+    )
 
 
 def cmd_figure(args) -> int:
     cfg = _config(args)
     name = args.command
-    sweep = _sweep_kwargs(args)
+    executor = _build_executor(args)
+    sweep = {"executor": executor}
     if name == "table1":
         print(format_table(table1(cfg, **sweep),
                            "Table 1 — benchmark characterization"))
@@ -243,8 +282,12 @@ def cmd_figure(args) -> int:
         print()
         print(format_table(traversal_count_sweep(cfg, **sweep),
                            "X2 — traversal-count sensitivity (treeadd)"))
-    if sweep["cache"] is not None:
-        print(f"  {sweep['cache'].describe()}", file=sys.stderr)
+    if executor.cache is not None:
+        print(f"  {executor.cache.describe()}", file=sys.stderr)
+    if executor.journal is not None:
+        print(f"  {executor.journal.describe()}", file=sys.stderr)
+        executor.journal.close()
+    print(f"  {executor.describe()}", file=sys.stderr)
     return 0
 
 
@@ -327,6 +370,26 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--progress", action="store_true",
                        help="narrate per-cell progress on stderr "
                             "(implied by --jobs > 1)")
+        p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="per-cell wall-clock budget; a hung worker is "
+                            "terminated and the cell charged a failed attempt")
+        p.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="retry a failed/timed-out cell up to N times "
+                            "with exponential backoff (default: 0)")
+        p.add_argument("--backoff", type=float, default=0.5, metavar="SEC",
+                       help="base retry delay; doubles per attempt "
+                            "(default: 0.5)")
+        p.add_argument("--resume", action="store_true",
+                       help="replay completed cells from the sweep journal "
+                            "of an interrupted run instead of starting over")
+        p.add_argument("--journal", default=None, metavar="PATH",
+                       help="checkpoint journal location (default: "
+                            "<cache-root>/journals/<figure>.jsonl)")
+        p.add_argument("--inject-faults", default=None, metavar="PLAN",
+                       help="deterministic fault plan for robustness drills: "
+                            "'bench[/variant[/engine]]=kind[:times][@sec]' "
+                            "entries (kinds: crash, hang, transient, corrupt) "
+                            "separated by commas")
     return parser
 
 

@@ -71,6 +71,7 @@ def canonical_spec(spec: "RunSpec") -> dict[str, Any]:
         "params": {k: v for k, v in spec.params},
         "variant": spec.variant,
         "engine": spec.engine,
+        "kind": spec.kind,
         "config": dataclasses.asdict(spec.cfg),
         "code": code_fingerprint(),
     }

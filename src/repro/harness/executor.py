@@ -1,4 +1,4 @@
-"""Parallel, cached sweep execution for the experiment harness.
+"""Parallel, cached, fault-tolerant sweep execution for the harness.
 
 Every paper artifact (Table 1, Figures 4-7, the X1/X2 extensions) is a
 matrix of independent simulations.  This module decomposes such a matrix
@@ -12,22 +12,48 @@ historical single-process path) or fanned out over a
 * **Work sharing** — identical cells (e.g. the baseline compute-time run
   needed by the base, hardware, and dbp schemes) are planned once; a
   :class:`~repro.harness.cache.ResultCache` extends the sharing across
-  processes and sweeps.
+  processes and sweeps, and a
+  :class:`~repro.harness.journal.SweepJournal` checkpoints completed
+  cells so an interrupted sweep resumes where it stopped.
 * **Error isolation** — a cell that raises becomes an error
-  :class:`CellResult` (carrying the traceback) instead of aborting the
-  sweep; experiment assembly turns it into an error row.
+  :class:`CellResult` (traceback plus exception class name) instead of
+  aborting the sweep; experiment assembly turns it into an error row.
+* **Bounded retry with exponential backoff** — transient failures
+  (including injected ones) are retried up to ``retries`` times before
+  the final failure is preserved as the error cell.
+* **Per-cell wall-clock timeouts** — a hung worker is reaped (the pool
+  is abandoned, its processes terminated, and a fresh pool picks up the
+  surviving cells); serial execution detects the overrun after the cell
+  returns.  Either way the cell is charged a timeout attempt.
+* **Crash recovery** — a worker process dying (``BrokenProcessPool``)
+  costs every in-flight cell one attempt (the victims are
+  indistinguishable); the pool is rebuilt and the sweep continues.
+* **Clean interruption** — ``KeyboardInterrupt`` cancels pending
+  futures, shuts the pool down (``cancel_futures=True``), terminates
+  workers, and re-raises; journaled cells survive for ``--resume``.
 * **Narrated progress** — an optional ``progress`` callable receives one
   line per completed cell.
 
 Workers rebuild the workload program from ``(benchmark, params, variant)``
 rather than unpickling it: workload builds are deterministic, programs are
 large, and the rebuild is what the cache key already identifies.
+
+Retry/timeout/crash/fault/journal activity is counted in an obs
+:class:`~repro.obs.metrics.MetricRegistry` (``sweep.*`` metrics) so the
+robustness machinery is observable, and testable, from the outside.
 """
 
 from __future__ import annotations
 
+import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
@@ -36,8 +62,11 @@ from ..core.characterization import characterize
 from ..cpu.simulator import simulate
 from ..cpu.stats import SimResult
 from ..errors import ReproError
+from ..obs import MetricRegistry
 from ..workloads import get_workload
 from .cache import ResultCache
+from .faults import FaultPlan, mark_pool_worker
+from .journal import SweepJournal
 from .runner import SchemeRun, scheme_plan
 
 Progress = Callable[[str], None]
@@ -45,6 +74,19 @@ Progress = Callable[[str], None]
 
 class SweepError(ReproError):
     """An experiment asked for the result of a failed cell."""
+
+
+class CellError(str):
+    """An error traceback that also carries the exception class name, so
+    ``SweepResults.error()`` stays a plain string for callers while
+    error rows can be grepped by failure kind."""
+
+    kind: str = ""
+
+    def __new__(cls, text: str, kind: str = "") -> "CellError":
+        obj = super().__new__(cls, text)
+        obj.kind = kind
+        return obj
 
 
 def _freeze_params(params: dict[str, Any] | None) -> tuple[tuple[str, Any], ...]:
@@ -96,23 +138,32 @@ class RunSpec:
 
 @dataclass
 class CellResult:
-    """Outcome of one executed (or cache-served) cell."""
+    """Outcome of one executed (or cache-/journal-served) cell."""
 
     spec: RunSpec
     result: Any = None          # SimResult for "sim", row dict for "table1"
     error: str | None = None
-    cached: bool = False
+    error_kind: str | None = None   # exception class name of the failure
+    cached: bool = False            # served from the on-disk result cache
+    replayed: bool = False          # served from the resume journal
+    attempts: int = 1               # executions charged (1 = first try)
 
     @property
     def ok(self) -> bool:
         return self.error is None
 
 
-def _run_cell(spec: RunSpec) -> tuple[str, Any]:
+def _run_cell(
+    spec: RunSpec,
+    attempt: int = 0,
+    faults: FaultPlan | None = None,
+) -> tuple[str, ...]:
     """Worker body: build the program and simulate.  Must stay a
     module-level function (pickled by name into pool workers); never
-    raises — failures come back as ``("error", traceback)``."""
+    raises — failures come back as ``("error", kind, traceback)``."""
     try:
+        if faults is not None:
+            faults.apply(spec, attempt)
         workload = get_workload(spec.benchmark, **dict(spec.params))
         program = workload.build(spec.variant).program
         if spec.kind == "table1":
@@ -123,23 +174,76 @@ def _run_cell(spec: RunSpec) -> tuple[str, Any]:
             return ("ok", row.as_dict())
         result = simulate(program, spec.cfg, engine=spec.engine)
         return ("ok", result)
-    except Exception:
-        return ("error", traceback.format_exc())
+    except Exception as exc:
+        return ("error", type(exc).__name__, traceback.format_exc())
+
+
+@dataclass
+class _Attempt:
+    """One scheduled execution of a cell (retries bump ``attempt``)."""
+
+    spec: RunSpec
+    attempt: int = 0
+    deadline: float | None = None
 
 
 class SweepExecutor:
-    """Executes a deduplicated list of cells, serially or in a pool."""
+    """Executes a deduplicated list of cells, serially or in a pool,
+    with optional per-cell timeout, bounded retry, checkpoint-resume
+    journaling, and deterministic fault injection."""
 
     def __init__(
         self,
         jobs: int = 1,
         cache: ResultCache | None = None,
         progress: Progress | None = None,
+        *,
+        timeout: float | None = None,
+        retries: int = 0,
+        backoff: float = 0.5,
+        journal: SweepJournal | None = None,
+        faults: FaultPlan | None = None,
+        registry: MetricRegistry | None = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.jobs = max(1, jobs)
         self.cache = cache
         self.progress = progress
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff = backoff
+        self.journal = journal
+        self.faults = faults
+        self._sleep = sleep
+        self.registry = (
+            registry
+            or (journal.registry if journal is not None else None)
+            or (cache.registry if cache is not None else None)
+            or MetricRegistry()
+        )
+        reg = self.registry
+        self._c_retries = reg.counter(
+            "sweep.retries", help="cell attempts re-scheduled after a failure"
+        )
+        self._c_timeouts = reg.counter(
+            "sweep.timeouts", help="cell attempts abandoned past the timeout"
+        )
+        self._c_failures = reg.counter(
+            "sweep.failures", help="cells whose final attempt still failed"
+        )
+        self._c_pool_breaks = reg.counter(
+            "sweep.pool_breaks",
+            help="worker pools abandoned after a crash or hung worker",
+        )
+        self._c_faults = reg.counter(
+            "sweep.faults.injected", help="fault-plan injections performed"
+        )
+        self._c_executed = reg.counter(
+            "sweep.executed", help="cells computed by a worker this sweep"
+        )
 
+    # ------------------------------------------------------------------
+    # Bookkeeping
     # ------------------------------------------------------------------
 
     def _narrate(self, done: int, total: int, cell: CellResult) -> None:
@@ -147,12 +251,16 @@ class SweepExecutor:
             return
         if not cell.ok:
             status = "ERROR"
+        elif cell.replayed:
+            status = "resume hit"
         elif cell.cached:
             status = "cache hit"
         elif cell.spec.kind == "sim":
             status = f"{cell.result.cycles} cycles"
         else:
             status = "done"
+        if cell.attempts > 1:
+            status += f" (attempt {cell.attempts})"
         self.progress(f"[{done}/{total}] {cell.spec.describe()}: {status}")
 
     def _finish(self, cell: CellResult, done: int, total: int) -> CellResult:
@@ -161,12 +269,40 @@ class SweepExecutor:
             cache is not None
             and cell.ok
             and not cell.cached
+            and not cell.replayed
             and cell.spec.kind == "sim"
         ):
             cache.put(cell.spec, cell.result)
             cache.note_write()
+        if self.journal is not None and cell.ok and not cell.replayed:
+            self.journal.record(cell.spec, cell.result)
         self._narrate(done, total, cell)
         return cell
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Exponential: backoff, 2*backoff, 4*backoff, ... per retry."""
+        return self.backoff * (2 ** attempt)
+
+    def _note_injection(self, spec: RunSpec, attempt: int) -> None:
+        if self.faults is not None and self.faults.fires(spec, attempt):
+            self._c_faults.inc()
+
+    def _corrupt_cache_entry(self, spec: RunSpec) -> None:
+        """The ``corrupt`` fault: clobber the cell's cache entry on disk
+        so the lookup exercises the invalid-entry -> recompute path."""
+        assert self.cache is not None
+        path = self.cache.path(self.cache.key(spec))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Valid JSON with the right schema tag but a gutted body: trips
+        # the cache's invalid-entry detection, not just a read miss.
+        path.write_text(
+            '{"schema": "repro.sim_result/1", "result": {"corrupt": true}}'
+        )
+        self._c_faults.inc()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
 
     def execute(self, specs: Iterable[RunSpec]) -> dict[RunSpec, CellResult]:
         """Run every distinct spec; returns ``spec -> CellResult``."""
@@ -180,54 +316,295 @@ class SweepExecutor:
         results: dict[RunSpec, CellResult] = {}
         todo: list[RunSpec] = []
         cache = self.cache
+        journal = self.journal
         for spec in plan:
-            cached = (
-                cache.get(spec)
-                if cache is not None and spec.kind == "sim"
-                else None
-            )
-            if cached is not None:
-                results[spec] = CellResult(spec, cached, cached=True)
-            else:
-                todo.append(spec)
+            if journal is not None:
+                replayed = journal.get(spec)
+                if replayed is not None:
+                    results[spec] = CellResult(spec, replayed, replayed=True)
+                    continue
+            if cache is not None and spec.kind == "sim":
+                if self.faults is not None and self.faults.corrupts(spec):
+                    self._corrupt_cache_entry(spec)
+                cached = cache.get(spec)
+                if cached is not None:
+                    results[spec] = CellResult(spec, cached, cached=True)
+                    continue
+            todo.append(spec)
+
         total = len(plan)
         done = 0
         for spec, cell in results.items():
             done += 1
+            if journal is not None and cell.cached:
+                journal.record(spec, cell.result)
             self._narrate(done, total, cell)
 
         if self.jobs == 1 or len(todo) <= 1:
-            for spec in todo:
-                status, payload = _run_cell(spec)
-                cell = CellResult(
-                    spec,
-                    payload if status == "ok" else None,
-                    error=None if status == "ok" else payload,
-                )
-                done += 1
-                results[spec] = self._finish(cell, done, total)
+            done = self._run_serial(todo, results, done, total)
         else:
-            with ProcessPoolExecutor(max_workers=min(self.jobs, len(todo))) as pool:
-                futures = {pool.submit(_run_cell, spec): spec for spec in todo}
-                pending = set(futures)
-                while pending:
-                    finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for fut in finished:
-                        spec = futures[fut]
-                        try:
-                            status, payload = fut.result()
-                        except Exception:
-                            # A worker died (or the payload failed to
-                            # unpickle); isolate it as an error cell.
-                            status, payload = "error", traceback.format_exc()
-                        cell = CellResult(
-                            spec,
-                            payload if status == "ok" else None,
-                            error=None if status == "ok" else payload,
-                        )
-                        done += 1
-                        results[spec] = self._finish(cell, done, total)
+            done = self._run_pooled(todo, results, done, total)
         return results
+
+    # -- serial --------------------------------------------------------
+
+    def _run_serial(
+        self,
+        todo: list[RunSpec],
+        results: dict[RunSpec, CellResult],
+        done: int,
+        total: int,
+    ) -> int:
+        for spec in todo:
+            attempt = 0
+            while True:
+                self._note_injection(spec, attempt)
+                self._c_executed.inc()
+                start = time.monotonic()
+                out = _run_cell(spec, attempt, self.faults)
+                elapsed = time.monotonic() - start
+                if out[0] == "ok" and (
+                    self.timeout is None or elapsed <= self.timeout
+                ):
+                    done += 1
+                    results[spec] = self._finish(
+                        CellResult(spec, out[1], attempts=attempt + 1),
+                        done, total,
+                    )
+                    break
+                if out[0] == "ok":
+                    # Completed, but past the wall-clock budget: a pool
+                    # would have reaped it — charge a timeout attempt
+                    # for serial/parallel parity.
+                    self._c_timeouts.inc()
+                    kind, tb = "TimeoutError", (
+                        f"TimeoutError: cell exceeded --timeout "
+                        f"{self.timeout}s (took {elapsed:.2f}s)"
+                    )
+                else:
+                    kind, tb = out[1], out[2]
+                if attempt < self.retries:
+                    self._c_retries.inc()
+                    self._sleep(self._backoff_delay(attempt))
+                    attempt += 1
+                    continue
+                self._c_failures.inc()
+                done += 1
+                results[spec] = self._finish(
+                    CellResult(spec, None, error=tb, error_kind=kind,
+                               attempts=attempt + 1),
+                    done, total,
+                )
+                break
+        return done
+
+    # -- pooled --------------------------------------------------------
+
+    @staticmethod
+    def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+        """Shut a pool down without waiting on hung/dead workers: cancel
+        everything not started, then terminate the worker processes."""
+        # Snapshot the worker processes before shutdown clears the map.
+        procs = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        for proc in procs:
+            try:
+                proc.join(timeout=1.0)
+            except Exception:
+                pass
+
+    def _fail_or_requeue(
+        self,
+        item: _Attempt,
+        kind: str,
+        tb: str,
+        queue: deque,
+        results: dict[RunSpec, CellResult],
+        done: int,
+        total: int,
+    ) -> int:
+        """One failed attempt: requeue with backoff while the retry
+        budget lasts, else record the final error cell."""
+        if item.attempt < self.retries:
+            self._c_retries.inc()
+            self._sleep(self._backoff_delay(item.attempt))
+            queue.append(_Attempt(item.spec, item.attempt + 1))
+            return done
+        self._c_failures.inc()
+        done += 1
+        results[item.spec] = self._finish(
+            CellResult(item.spec, None, error=tb, error_kind=kind,
+                       attempts=item.attempt + 1),
+            done, total,
+        )
+        return done
+
+    def _run_pooled(
+        self,
+        todo: list[RunSpec],
+        results: dict[RunSpec, CellResult],
+        done: int,
+        total: int,
+    ) -> int:
+        queue: deque[_Attempt] = deque(_Attempt(spec) for spec in todo)
+        while queue:
+            max_inflight = min(self.jobs, len(queue))
+            pool = ProcessPoolExecutor(
+                max_workers=max_inflight,
+                initializer=mark_pool_worker,
+            )
+            abandon = False
+            try:
+                running: dict[Any, _Attempt] = {}
+                broken = False
+
+                def submit(item: _Attempt) -> None:
+                    self._note_injection(item.spec, item.attempt)
+                    self._c_executed.inc()
+                    if self.timeout is not None:
+                        item.deadline = time.monotonic() + self.timeout
+                    fut = pool.submit(
+                        _run_cell, item.spec, item.attempt, self.faults
+                    )
+                    running[fut] = item
+
+                def refill() -> None:
+                    # Keep at most one cell per worker in flight, so a
+                    # deadline measures *run* time: a cell parked in the
+                    # pool's internal queue must not burn its budget.
+                    while queue and not broken and len(running) < max_inflight:
+                        submit(queue.popleft())
+
+                refill()
+                while running:
+                    wait_for = None
+                    if self.timeout is not None:
+                        wait_for = max(
+                            0.0,
+                            min(i.deadline for i in running.values())
+                            - time.monotonic(),
+                        )
+                    finished, __ = wait(
+                        set(running), timeout=wait_for,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    if not finished:
+                        # A deadline expired with nothing completing:
+                        # the worker is hung.  Its process cannot be
+                        # recovered individually, so charge the timed-out
+                        # cells an attempt, requeue the innocent
+                        # bystanders untouched, and abandon the pool.
+                        now = time.monotonic()
+                        expired = [
+                            fut for fut, item in running.items()
+                            if item.deadline is not None
+                            and item.deadline <= now
+                        ]
+                        if not expired:
+                            continue
+                        for fut in expired:
+                            item = running.pop(fut)
+                            self._c_timeouts.inc()
+                            tb = (
+                                f"TimeoutError: cell exceeded --timeout "
+                                f"{self.timeout}s "
+                                f"(attempt {item.attempt + 1}); "
+                                "hung worker terminated"
+                            )
+                            done = self._fail_or_requeue(
+                                item, "TimeoutError", tb, queue,
+                                results, done, total,
+                            )
+                        for item in running.values():
+                            queue.append(item)
+                        self._c_pool_breaks.inc()
+                        abandon = True
+                        break
+                    for fut in finished:
+                        item = running.pop(fut)
+                        try:
+                            out = fut.result()
+                        except BrokenExecutor:
+                            # A worker died; every in-flight future of
+                            # this pool fails with it and the victims are
+                            # indistinguishable, so each is charged one
+                            # attempt.  Rebuild the pool afterwards.
+                            if not broken:
+                                self._c_pool_breaks.inc()
+                                broken = True
+                            done = self._fail_or_requeue(
+                                item, "BrokenProcessPool",
+                                traceback.format_exc(), queue,
+                                results, done, total,
+                            )
+                            continue
+                        except Exception as exc:
+                            # The payload failed to unpickle (or another
+                            # local fault); isolate it as a failed
+                            # attempt of this cell only.
+                            done = self._fail_or_requeue(
+                                item, type(exc).__name__,
+                                traceback.format_exc(), queue,
+                                results, done, total,
+                            )
+                            continue
+                        if out[0] == "ok":
+                            done += 1
+                            results[item.spec] = self._finish(
+                                CellResult(item.spec, out[1],
+                                           attempts=item.attempt + 1),
+                                done, total,
+                            )
+                        else:
+                            done = self._fail_or_requeue(
+                                item, out[1], out[2], queue,
+                                results, done, total,
+                            )
+                    # Waiting cells (and retries requeued above) go to
+                    # the current pool while it is healthy.
+                    refill()
+                    if broken:
+                        for item in running.values():
+                            queue.append(item)
+                        abandon = True
+                        break
+            except BaseException:
+                # KeyboardInterrupt (or any unexpected error) must not
+                # leave orphaned workers: cancel pending futures and
+                # tear the pool down before propagating.
+                self._abandon_pool(pool)
+                raise
+            else:
+                if abandon:
+                    self._abandon_pool(pool)
+                else:
+                    pool.shutdown(wait=True)
+        return done
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "executed": self._c_executed.value,
+            "retries": self._c_retries.value,
+            "timeouts": self._c_timeouts.value,
+            "failures": self._c_failures.value,
+            "pool_breaks": self._c_pool_breaks.value,
+            "faults_injected": self._c_faults.value,
+        }
+
+    def describe(self) -> str:
+        s = self.stats()
+        return (
+            f"sweep: {s['executed']} cells executed, {s['retries']} retries, "
+            f"{s['timeouts']} timeouts, {s['failures']} failures, "
+            f"{s['pool_breaks']} pool restarts"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -324,8 +701,13 @@ class SweepPlan:
         jobs: int = 1,
         cache: ResultCache | None = None,
         progress: Progress | None = None,
+        executor: SweepExecutor | None = None,
     ) -> "SweepResults":
-        executor = SweepExecutor(jobs=jobs, cache=cache, progress=progress)
+        """Execute the collected cells.  A fully-configured ``executor``
+        (timeout/retry/journal/faults) takes precedence over the simple
+        ``jobs``/``cache``/``progress`` shorthand."""
+        if executor is None:
+            executor = SweepExecutor(jobs=jobs, cache=cache, progress=progress)
         return SweepResults(executor.execute(self._specs))
 
 
@@ -338,11 +720,22 @@ class SweepResults:
     def cell(self, spec: RunSpec) -> CellResult:
         return self.cells[spec]
 
-    def error(self, run: ScheduledRun | RunSpec) -> str | None:
-        """The first error among the cells backing ``run`` (None if ok)."""
+    @staticmethod
+    def _cell_error(cell: CellResult) -> CellError | None:
+        if cell.error is None:
+            return None
+        return CellError(cell.error, cell.error_kind or "")
+
+    def error(self, run: ScheduledRun | RunSpec) -> CellError | None:
+        """The first error among the cells backing ``run`` (None if ok).
+        The returned string carries the exception class name as
+        ``.kind``, which error rows surface for grepping."""
         if isinstance(run, RunSpec):
-            return self.cells[run].error
-        return self.cells[run.timing].error or self.cells[run.compute].error
+            return self._cell_error(self.cells[run])
+        return (
+            self._cell_error(self.cells[run.timing])
+            or self._cell_error(self.cells[run.compute])
+        )
 
     def scheme_run(self, run: ScheduledRun) -> SchemeRun:
         """Assemble the SchemeRun for ``run``; raises :class:`SweepError`
@@ -371,11 +764,13 @@ def error_row(
     label_key: str = "scheme",
 ) -> dict[str, object]:
     """A ragged table row standing in for a failed cell: the last line of
-    the traceback (the exception message) plus the full text."""
+    the traceback (the exception message), the failure's exception class
+    name when known, plus the full text."""
     brief = err.strip().splitlines()[-1] if err.strip() else "unknown error"
     return {
         "benchmark": benchmark,
         label_key: scheme,
         "error": brief,
-        "error_detail": err,
+        "error_kind": getattr(err, "kind", "") or "",
+        "error_detail": str(err),
     }

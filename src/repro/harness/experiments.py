@@ -22,7 +22,14 @@ from typing import Any
 from ..config import MachineConfig, bench_config
 from ..workloads import get_workload, workload_class
 from .cache import ResultCache
-from .executor import Progress, ScheduledRun, SweepPlan, SweepResults, error_row
+from .executor import (
+    Progress,
+    ScheduledRun,
+    SweepExecutor,
+    SweepPlan,
+    SweepResults,
+    error_row,
+)
 from .runner import SCHEMES
 
 #: The paper's benchmark suite (the `spmv` extension workload is opt-in).
@@ -69,6 +76,7 @@ def table1(
     jobs: int = 1,
     cache: ResultCache | None = None,
     progress: Progress | None = None,
+    executor: SweepExecutor | None = None,
 ) -> list[dict[str, object]]:
     cfg = cfg or bench_config()
     plan = SweepPlan(cfg)
@@ -76,7 +84,8 @@ def table1(
         (name, plan.add_table1(name, (params or {}).get(name)))
         for name in benchmarks or OLDEN
     ]
-    results = plan.execute(jobs=jobs, cache=cache, progress=progress)
+    results = plan.execute(jobs=jobs, cache=cache, progress=progress,
+                           executor=executor)
     rows = []
     for name, spec in cells:
         cell = results.cell(spec)
@@ -98,6 +107,7 @@ def figure4(
     jobs: int = 1,
     cache: ResultCache | None = None,
     progress: Progress | None = None,
+    executor: SweepExecutor | None = None,
 ) -> list[dict[str, object]]:
     cfg = cfg or bench_config()
     plan = SweepPlan(cfg)
@@ -114,7 +124,8 @@ def figure4(
                     continue
                 variant_runs.append(plan.add_variant_run(name, variant, engine, p))
         scheduled.append((name, base, variant_runs))
-    results = plan.execute(jobs=jobs, cache=cache, progress=progress)
+    results = plan.execute(jobs=jobs, cache=cache, progress=progress,
+                           executor=executor)
 
     rows = []
     for name, base_sr, variant_runs in scheduled:
@@ -156,6 +167,7 @@ def figure5(
     jobs: int = 1,
     cache: ResultCache | None = None,
     progress: Progress | None = None,
+    executor: SweepExecutor | None = None,
 ) -> list[dict[str, object]]:
     cfg = cfg or bench_config()
     plan = SweepPlan(cfg)
@@ -167,7 +179,8 @@ def figure5(
         # deduplication makes this free when "base" is already in schemes.
         base_sr = per_scheme.get("base") or plan.add_run(name, "base", p)
         scheduled.append((name, per_scheme, base_sr))
-    results = plan.execute(jobs=jobs, cache=cache, progress=progress)
+    results = plan.execute(jobs=jobs, cache=cache, progress=progress,
+                           executor=executor)
 
     rows = []
     for name, per_scheme, base_sr in scheduled:
@@ -223,6 +236,7 @@ def figure6(
     jobs: int = 1,
     cache: ResultCache | None = None,
     progress: Progress | None = None,
+    executor: SweepExecutor | None = None,
 ) -> list[dict[str, object]]:
     cfg = cfg or bench_config()
     plan = SweepPlan(cfg)
@@ -230,7 +244,8 @@ def figure6(
     for name in benchmarks or OLDEN:
         p = (params or {}).get(name)
         scheduled.append((name, {s: plan.add_run(name, s, p) for s in SCHEMES}))
-    results = plan.execute(jobs=jobs, cache=cache, progress=progress)
+    results = plan.execute(jobs=jobs, cache=cache, progress=progress,
+                           executor=executor)
 
     rows = []
     for name, per_scheme in scheduled:
@@ -265,6 +280,7 @@ def figure7(
     jobs: int = 1,
     cache: ResultCache | None = None,
     progress: Progress | None = None,
+    executor: SweepExecutor | None = None,
 ) -> list[dict[str, object]]:
     cfg = cfg or bench_config()
     plan = SweepPlan(cfg)
@@ -282,7 +298,8 @@ def figure7(
                 for s in SCHEMES
             }
             scheduled.append((latency, interval, per_scheme))
-    results = plan.execute(jobs=jobs, cache=cache, progress=progress)
+    results = plan.execute(jobs=jobs, cache=cache, progress=progress,
+                           executor=executor)
 
     rows = []
     for latency, interval, per_scheme in scheduled:
@@ -319,6 +336,7 @@ def onchip_table_ablation(
     jobs: int = 1,
     cache: ResultCache | None = None,
     progress: Progress | None = None,
+    executor: SweepExecutor | None = None,
 ) -> list[dict[str, object]]:
     cfg = cfg or bench_config()
     onchip_cfg = replace(
@@ -334,7 +352,8 @@ def onchip_table_ablation(
             plan.add_run(name, "hardware", p),
             plan.add_run(name, "hardware", p, cfg=onchip_cfg),
         ))
-    results = plan.execute(jobs=jobs, cache=cache, progress=progress)
+    results = plan.execute(jobs=jobs, cache=cache, progress=progress,
+                           executor=executor)
 
     rows = []
     for name, base_sr, padding_sr, onchip_sr in scheduled:
@@ -365,6 +384,7 @@ def creation_overhead(
     jobs: int = 1,
     cache: ResultCache | None = None,
     progress: Progress | None = None,
+    executor: SweepExecutor | None = None,
 ) -> list[dict[str, object]]:
     """A-priori slowdown of jump-pointer creation: the compute-time ratio
     of the instrumented program to the baseline (paper: ~12% for health)."""
@@ -376,7 +396,8 @@ def creation_overhead(
         scheduled.append((
             name, plan.add_run(name, "base", p), plan.add_run(name, "software", p)
         ))
-    results = plan.execute(jobs=jobs, cache=cache, progress=progress)
+    results = plan.execute(jobs=jobs, cache=cache, progress=progress,
+                           executor=executor)
 
     rows = []
     for name, base_sr, sw_sr in scheduled:
@@ -401,6 +422,7 @@ def traversal_count_sweep(
     jobs: int = 1,
     cache: ResultCache | None = None,
     progress: Progress | None = None,
+    executor: SweepExecutor | None = None,
 ) -> list[dict[str, object]]:
     """Hardware vs cooperative JPP (and DBP) on treeadd as the number of
     traversals grows: hardware's *jump-pointer* half forfeits the first
@@ -416,7 +438,8 @@ def traversal_count_sweep(
             s: plan.add_run("treeadd", s, wparams)
             for s in ("base", "hardware", "cooperative", "dbp")
         }))
-    results = plan.execute(jobs=jobs, cache=cache, progress=progress)
+    results = plan.execute(jobs=jobs, cache=cache, progress=progress,
+                           executor=executor)
 
     rows = []
     for p, per_scheme in scheduled:

@@ -1,0 +1,179 @@
+"""Checkpoint-resume journal for sweep execution.
+
+A :class:`SweepJournal` is an append-only JSONL file recording every
+successfully completed sweep cell as it finishes.  An interrupted sweep
+(``KeyboardInterrupt``, worker crash, machine loss) re-run against the
+same journal with ``resume=True`` replays the recorded cells instantly
+and re-simulates only what is missing.
+
+Design points:
+
+* **Keys are content-addressed** via :func:`~repro.harness.cache.spec_key`
+  — the same SHA-256 identity the result cache uses, covering workload,
+  params, variant, engine, machine config, cell kind *and* the simulator
+  code fingerprint.  A journal written before a code change silently
+  replays nothing after it: stale checkpoints cannot leak wrong results.
+* **Crash-safe appends** — one line per cell, flushed (and fsynced)
+  immediately.  A truncated final line from a hard kill is skipped on
+  load and counted, never fatal.
+* **Errors are not journaled.**  Only ``ok`` cells checkpoint; a failed
+  cell is retried from scratch on resume, which is the point of
+  resuming.
+* **Both cell kinds** round-trip: ``sim`` cells as
+  ``SimResult.to_dict()`` documents, ``table1`` cells as their plain
+  row dicts.
+
+Counters (``journal.appended`` / ``journal.replayed`` /
+``journal.corrupt``) register into an obs
+:class:`~repro.obs.metrics.MetricRegistry` so resume behaviour is
+verifiable from the same registry as cache and sweep metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from ..cpu.stats import SimResult
+from ..obs import MetricRegistry
+from .cache import spec_key
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .executor import RunSpec
+
+SCHEMA = "repro.journal/1"
+
+
+class SweepJournal:
+    """Append-only ``spec-key -> completed cell`` checkpoint file."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        registry: MetricRegistry | None = None,
+        resume: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.resume = resume
+        self.registry = registry or MetricRegistry()
+        self._appended = self.registry.counter(
+            "journal.appended", help="completed cells checkpointed this run"
+        )
+        self._replayed = self.registry.counter(
+            "journal.replayed", help="cells served from the resume journal"
+        )
+        self._corrupt = self.registry.counter(
+            "journal.corrupt", help="unreadable journal lines skipped on load"
+        )
+        self._entries: dict[str, Any] = {}
+        self._fh = None
+        if resume:
+            self._load()
+        elif self.path.exists():
+            # A fresh (non-resume) sweep must not replay a stale journal.
+            self.path.unlink()
+
+    # ------------------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+                if doc.get("schema") != SCHEMA:
+                    raise ValueError(f"unexpected schema {doc.get('schema')!r}")
+                key = doc["key"]
+                kind = doc["kind"]
+                payload = doc["result"]
+                if kind == "sim":
+                    payload = SimResult.from_dict(payload)
+                elif not isinstance(payload, dict):
+                    raise ValueError(f"non-dict {kind!r} payload")
+            except (ValueError, KeyError, TypeError):
+                # Truncated tail line from a hard kill, or foreign junk:
+                # skip it — the cell just re-simulates.
+                self._corrupt.inc()
+                continue
+            self._entries[key] = (kind, payload)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, spec: "RunSpec") -> bool:
+        return spec_key(spec) in self._entries
+
+    def get(self, spec: "RunSpec") -> Any | None:
+        """The recorded payload for ``spec`` (``SimResult`` or row dict),
+        or None when the journal has not seen it."""
+        entry = self._entries.get(spec_key(spec))
+        if entry is None:
+            return None
+        kind, payload = entry
+        if kind != spec.kind:
+            return None
+        self._replayed.inc()
+        return payload
+
+    def record(self, spec: "RunSpec", result: Any) -> None:
+        """Checkpoint one completed cell (flush + fsync: crash-safe)."""
+        key = spec_key(spec)
+        if key in self._entries:
+            return
+        payload = result.to_dict() if isinstance(result, SimResult) else result
+        doc = {"schema": SCHEMA, "key": key, "kind": spec.kind,
+               "spec": spec.describe(), "result": payload}
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a")
+        self._fh.write(json.dumps(doc, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._entries[key] = (spec.kind, result)
+        self._appended.inc()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def appended(self) -> int:
+        return self._appended.value
+
+    @property
+    def replayed(self) -> int:
+        return self._replayed.value
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "appended": self._appended.value,
+            "replayed": self._replayed.value,
+            "corrupt": self._corrupt.value,
+        }
+
+    def describe(self) -> str:
+        s = self.stats()
+        return (
+            f"journal at {self.path}: {s['entries']} entries, "
+            f"{s['replayed']} replayed, {s['appended']} appended"
+        )
+
+
+__all__ = ["SweepJournal", "SCHEMA"]

@@ -7,6 +7,12 @@ test sizes.  Performance work on the interpreter/timing model must keep
 these bit-identical; a legitimate *model* change (one that intends to
 alter simulated behaviour) must regenerate the file and say so in the
 commit.
+
+Entry keys are display names; an entry may name its ``workload``
+explicitly (so one workload can be pinned at several sizes, e.g.
+``treeadd@deep``) and may pin a specific prefetch ``idiom`` for the
+software/cooperative schemes (e.g. ``health@sw-root`` pins the
+root-jumping variant instead of the workload's default).
 """
 
 import json
@@ -26,9 +32,10 @@ GOLDEN = json.loads(
 def test_golden_cycles(name):
     entry = GOLDEN[name]
     cfg = small_config()
-    runner = BenchmarkRunner(name, cfg, entry["params"])
+    runner = BenchmarkRunner(entry.get("workload", name), cfg, entry["params"])
+    idiom = entry.get("idiom")
     for scheme, want in sorted(entry["schemes"].items()):
-        run = runner.run(scheme)
+        run = runner.run(scheme, idiom if scheme in ("software", "cooperative") else None)
         got = {
             "cycles": run.total,
             "compute": run.compute,

@@ -1,10 +1,17 @@
-"""Property-based tests on ISA semantics and workload mirrors."""
+"""Property-based tests on ISA semantics, workload mirrors, and the
+sweep harness's content-addressed identities (RunSpec/spec_key) and
+serialization round-trips (SimResult, ResultCache)."""
+
+import json
+import tempfile
+from pathlib import Path
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import Assembler, run_to_completion
-from repro.isa.registers import T0, T1, T2
+from repro import Assembler, run_to_completion, small_config
+from repro.harness import ResultCache, RunSpec, spec_key
+from repro.isa.registers import A0, T0, T1, T2, V0, ZERO
 from repro.workloads.olden.common import LCG_MASK, emit_lcg, frand, lcg
 
 ints = st.integers(min_value=-(2**31), max_value=2**31 - 1)
@@ -150,3 +157,126 @@ class TestWorkloadMirrors:
         built = w.build("baseline")
         interp = run_to_completion(built.program)
         built.verify(interp)
+
+
+# ----------------------------------------------------------------------
+# Harness identities: RunSpec freezing and spec_key content-addressing
+# ----------------------------------------------------------------------
+
+#: Random-but-plausible workload parameter dicts.
+param_dicts = st.dictionaries(
+    st.sampled_from(["levels", "passes", "interval", "n", "iterations"]),
+    st.integers(min_value=1, max_value=64),
+    max_size=5,
+)
+
+engines = st.sampled_from(["none", "software", "cooperative", "hardware", "dbp"])
+
+
+class TestSpecIdentityProps:
+    @given(param_dicts, engines)
+    @settings(max_examples=25, deadline=None)
+    def test_freeze_is_insertion_order_insensitive(self, params, engine):
+        cfg = small_config()
+        items = list(params.items())
+        a = RunSpec.make("treeadd", "baseline", engine, cfg, dict(items))
+        b = RunSpec.make("treeadd", "baseline", engine, cfg,
+                         dict(reversed(items)))
+        assert a == b and hash(a) == hash(b)
+        assert spec_key(a) == spec_key(b)
+
+    @given(param_dicts, engines)
+    @settings(max_examples=25, deadline=None)
+    def test_key_is_stable_and_param_sensitive(self, params, engine):
+        cfg = small_config()
+        spec = RunSpec.make("health", "baseline", engine, cfg, params)
+        assert spec_key(spec) == spec_key(spec)
+        bumped = {**params, "interval": params.get("interval", 0) + 1}
+        assert spec_key(
+            RunSpec.make("health", "baseline", engine, cfg, bumped)
+        ) != spec_key(spec)
+
+    @given(param_dicts)
+    @settings(max_examples=15, deadline=None)
+    def test_key_separates_cell_kinds(self, params):
+        cfg = small_config()
+        sim = RunSpec.make("health", "baseline", "none", cfg, params)
+        table1 = RunSpec.make("health", "baseline", "none", cfg, params,
+                              kind="table1")
+        assert spec_key(sim) != spec_key(table1)
+
+    @given(st.integers(min_value=10, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_key_covers_machine_config(self, latency):
+        cfg = small_config()
+        varied = cfg.with_memory_latency(latency)
+        a = RunSpec.make("health", "baseline", "none", cfg)
+        b = RunSpec.make("health", "baseline", "none", varied)
+        if varied == cfg:
+            assert spec_key(a) == spec_key(b)
+        else:
+            assert spec_key(a) != spec_key(b)
+
+
+# ----------------------------------------------------------------------
+# Serialization round-trips under random configs
+# ----------------------------------------------------------------------
+
+def _walk_program(n=12):
+    """Tiny build-then-walk linked list: misses under small caches, so
+    random memory latencies actually show up in the stats."""
+    a = Assembler()
+    head = a.word(0)
+    a.label("main")
+    a.li(T0, n)
+    a.label("build")
+    a.beqz(T0, "walk")
+    a.alloc(T1, ZERO, 16)
+    a.sw(T0, T1, 0)
+    a.li(A0, head)
+    a.lw(V0, A0, 0)
+    a.sw(V0, T1, 4)
+    a.sw(T1, A0, 0)
+    a.addi(T0, T0, -1)
+    a.j("build")
+    a.label("walk")
+    a.li(A0, head)
+    a.lw(T1, A0, 0, tag="lds")
+    a.label("wloop")
+    a.beqz(T1, "done")
+    a.lw(V0, T1, 0, pad=16, tag="lds")
+    a.lw(T1, T1, 4, pad=16, tag="lds")
+    a.j("wloop")
+    a.label("done")
+    a.halt()
+    return a.assemble("props_walk")
+
+
+class TestResultRoundTripProps:
+    @given(st.integers(min_value=20, max_value=400),
+           st.sampled_from(["none", "dbp", "hardware"]))
+    @settings(max_examples=8, deadline=None)
+    def test_simresult_json_roundtrip(self, latency, engine):
+        from repro.cpu.simulator import simulate
+        from repro.cpu.stats import SimResult
+
+        cfg = small_config().with_memory_latency(latency)
+        result = simulate(_walk_program(), cfg, engine=engine)
+        back = SimResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert back == result
+
+    @given(st.integers(min_value=20, max_value=400),
+           st.sampled_from(["none", "dbp", "hardware"]))
+    @settings(max_examples=6, deadline=None)
+    def test_result_cache_roundtrip(self, latency, engine):
+        from repro.cpu.simulator import simulate
+
+        cfg = small_config().with_memory_latency(latency)
+        spec = RunSpec.make("props-walk", "baseline", engine, cfg)
+        result = simulate(_walk_program(), cfg, engine=engine)
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = ResultCache(Path(tmp))
+            cache.put(spec, result)
+            back = cache.get(spec)
+        assert back == result
+        assert cache.hits == 1 and cache.misses == 0
