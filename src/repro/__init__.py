@@ -9,7 +9,11 @@ Public API highlights:
 * :class:`repro.MachineConfig` — machine parameters (Table 2 defaults).
 * :mod:`repro.core` — the JPP framework: idioms, the software jump queue,
   and the Table-1 characterization.
-* :mod:`repro.harness` — experiment runners for every paper table/figure.
+* :mod:`repro.harness` — experiment runners for every paper table/figure,
+  plus declarative :class:`~repro.harness.ExperimentSpec` files
+  (``examples/specs/``) run via :func:`~repro.harness.run_spec`.
+* :func:`repro.get_machine` / :func:`repro.machine_names` — the named
+  machine registry (``table2``, ``bench``, ``small``).
 * :mod:`repro.obs` — observability: metric registry, prefetch-outcome
   classification, event tracing, machine-readable run artifacts.
 """
@@ -23,9 +27,13 @@ from .config import (
     PrefetchConfig,
     TLBConfig,
     bench_config,
+    get_machine,
+    machine_names,
+    register_machine,
     small_config,
     table2_config,
 )
+from .registry import Registry, describe_registries
 from .cpu import (
     Decomposition,
     SimResult,
@@ -66,6 +74,7 @@ __all__ = [
     "Op",
     "PrefetchConfig",
     "Program",
+    "Registry",
     "ReproError",
     "SimResult",
     "TLBConfig",
@@ -75,9 +84,13 @@ __all__ = [
     "__version__",
     "bench_config",
     "characterize",
+    "describe_registries",
+    "get_machine",
     "get_workload",
+    "machine_names",
     "make_engine",
     "recommended_interval",
+    "register_machine",
     "run_to_completion",
     "simulate",
     "simulate_decomposed",

@@ -2,7 +2,8 @@
 
 Examples::
 
-    python -m repro list                         # workloads and schemes
+    python -m repro list                         # every registry at a glance
+    python -m repro list machines                # ... or one registry
     python -m repro run health --scheme hardware # one benchmark, one scheme
     python -m repro run health --all             # full Figure-5 row
     python -m repro table1                       # characterization table
@@ -13,6 +14,8 @@ Examples::
     python -m repro figure5 --resume             # continue an interrupted sweep
     python -m repro figure5 --inject-faults 'health=transient:2'  # fault drill
     python -m repro run treeadd --scheme software --param levels=9 --param passes=2
+    python -m repro run-spec examples/specs/figure5.toml --jobs 4
+    python -m repro run-spec mysweep.toml --small -o result.json
     python -m repro stats --json                 # telemetry artifact (JSON)
     python -m repro trace health --small -o health.trace.json
 """
@@ -22,15 +25,21 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 from . import bench_config, table2_config, workload_names
+from .config import get_machine, machine_names
+from .errors import ConfigError
 from .harness import (
     SCHEMES,
     BenchmarkRunner,
     ResultCache,
+    SCHEME_REGISTRY,
+    SpecError,
     SweepExecutor,
     SweepJournal,
+    compile_spec,
     creation_overhead,
     figure4,
     figure5,
@@ -38,12 +47,15 @@ from .harness import (
     figure6,
     figure7,
     format_table,
+    load_spec,
     onchip_table_ablation,
     parse_fault_plan,
+    spec_artifact,
     table1,
     traversal_count_sweep,
 )
 from .obs import EventTrace, MetricRegistry, Telemetry, artifact, dump_json
+from .prefetch.engines import ENGINES
 from .workloads import workload_class
 
 
@@ -72,7 +84,7 @@ def _config(args) -> object:
     return cfg
 
 
-def cmd_list(args) -> int:
+def _list_workloads() -> str:
     rows = []
     for name in workload_names():
         cls = workload_class(name)
@@ -81,8 +93,55 @@ def cmd_list(args) -> int:
             "variants": " ".join(cls.variants),
             "structure": cls.structure,
         })
-    print(format_table(rows, "Workloads"))
-    print(f"\nschemes: {' '.join(SCHEMES)}")
+    return format_table(rows, "Workloads")
+
+
+def _list_machines() -> str:
+    rows = []
+    for name in machine_names():
+        cfg = get_machine(name)
+        rows.append({
+            "machine": name,
+            "mem latency": cfg.memory_latency,
+            "dl1": f"{cfg.dl1.size // 1024}KB",
+            "l2": f"{cfg.l2.size // 1024}KB",
+            "jump interval": cfg.prefetch.jump_interval,
+        })
+    return format_table(rows, "Machines")
+
+
+def _list_schemes() -> str:
+    rows = []
+    for name, scheme in SCHEME_REGISTRY.items():
+        variant = scheme.variant or f"{scheme.variant_prefix}<idiom>"
+        rows.append({
+            "scheme": name,
+            "variant": variant,
+            "engine": scheme.engine,
+            "description": scheme.description,
+        })
+    return format_table(rows, "Schemes")
+
+
+def _list_engines() -> str:
+    rows = []
+    for name, cls in ENGINES.items():
+        doc = (cls.__doc__ or "").strip().splitlines()
+        rows.append({"engine": name, "description": doc[0] if doc else ""})
+    return format_table(rows, "Prefetch engines")
+
+
+def cmd_list(args) -> int:
+    sections = {
+        "machines": _list_machines,
+        "schemes": _list_schemes,
+        "engines": _list_engines,
+        "workloads": _list_workloads,
+    }
+    if args.what != "all":
+        print(sections[args.what]())
+        return 0
+    print("\n\n".join(fn() for fn in sections.values()))
     return 0
 
 
@@ -211,18 +270,19 @@ def cmd_trace(args) -> int:
     return 0
 
 
-def _journal_path(args) -> Path:
-    """Default journal location: one file per figure command under the
-    cache root, so ``--resume`` needs no path bookkeeping."""
+def _journal_path(args, name: str | None = None) -> Path:
+    """Default journal location: one file per figure command (or per
+    spec name) under the cache root, so ``--resume`` needs no path
+    bookkeeping."""
     if args.journal:
         return Path(args.journal)
     root = Path(
         args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or ".repro_cache"
     )
-    return root / "journals" / f"{args.command}.jsonl"
+    return root / "journals" / f"{name or args.command}.jsonl"
 
 
-def _build_executor(args) -> SweepExecutor:
+def _build_executor(args, journal_name: str | None = None) -> SweepExecutor:
     """--jobs/--cache/--timeout/--retries/--resume/--inject-faults
     plumbing shared by figure commands.  One obs registry spans the
     cache, the journal, and the executor so a single dump shows the
@@ -234,7 +294,7 @@ def _build_executor(args) -> SweepExecutor:
     progress = None
     if args.progress or args.jobs > 1:
         progress = lambda line: print(f"  {line}", file=sys.stderr)
-    journal = SweepJournal(_journal_path(args), registry=registry,
+    journal = SweepJournal(_journal_path(args, journal_name), registry=registry,
                            resume=args.resume)
     faults = parse_fault_plan(args.inject_faults)
     if faults is not None:
@@ -250,6 +310,59 @@ def _build_executor(args) -> SweepExecutor:
         faults=faults,
         registry=registry,
     )
+
+
+def _sweep_footer(executor: SweepExecutor) -> None:
+    if executor.cache is not None:
+        print(f"  {executor.cache.describe()}", file=sys.stderr)
+    if executor.journal is not None:
+        print(f"  {executor.journal.describe()}", file=sys.stderr)
+        executor.journal.close()
+    print(f"  {executor.describe()}", file=sys.stderr)
+
+
+def _parse_override_value(text: str):
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return text
+
+
+def cmd_run_spec(args) -> int:
+    spec = load_spec(args.spec)
+    if args.machine:
+        spec = spec.with_machine(args.machine)
+    if args.small:
+        spec = spec.small()
+    if args.set:
+        extra = {}
+        for item in args.set:
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise SystemExit(f"--set expects path=value, got {item!r}")
+            extra[key] = _parse_override_value(value)
+        spec = replace(spec, overrides={**spec.overrides, **extra})
+    executor = _build_executor(args, journal_name=f"spec-{spec.name}")
+    compiled = compile_spec(spec)
+    print(f"  {args.spec}: {len(compiled.rows)} rows over "
+          f"{compiled.cell_count} distinct cells", file=sys.stderr)
+    rows = compiled.execute(executor=executor)
+    print(format_table(rows, spec.title or spec.name))
+    if args.output:
+        doc = spec_artifact(spec, rows, meta={
+            "source": str(args.spec),
+            "machine": spec.machine,
+            "sweep": executor.stats(),
+        })
+        dump_json(doc, args.output)
+        print(f"wrote {args.output}")
+    _sweep_footer(executor)
+    return 0
 
 
 def cmd_figure(args) -> int:
@@ -282,12 +395,7 @@ def cmd_figure(args) -> int:
         print()
         print(format_table(traversal_count_sweep(cfg, **sweep),
                            "X2 — traversal-count sensitivity (treeadd)"))
-    if executor.cache is not None:
-        print(f"  {executor.cache.describe()}", file=sys.stderr)
-    if executor.journal is not None:
-        print(f"  {executor.journal.describe()}", file=sys.stderr)
-        executor.journal.close()
-    print(f"  {executor.describe()}", file=sys.stderr)
+    _sweep_footer(executor)
     return 0
 
 
@@ -305,7 +413,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override the hardware jump interval")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list workloads and schemes")
+    lst = sub.add_parser("list", help="list the experiment-axis registries")
+    lst.add_argument("what", nargs="?", default="all",
+                     choices=("all", "machines", "schemes", "engines",
+                              "workloads"),
+                     help="one registry, or everything (default)")
 
     run = sub.add_parser("run", help="run one workload")
     run.add_argument("workload", choices=workload_names())
@@ -353,12 +465,34 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("-o", "--output", default=None,
                        help="trace file path (default <workload>-<scheme>.trace.json)")
 
+    spec_p = sub.add_parser(
+        "run-spec",
+        help="run a declarative experiment spec file (.toml or .json); "
+             "see examples/specs/",
+    )
+    spec_p.add_argument("spec", help="path to the spec file")
+    spec_p.add_argument("--machine", choices=machine_names(), default=None,
+                        help="run on this named machine instead of the "
+                             "spec's own")
+    spec_p.add_argument("--small", action="store_true",
+                        help="use every workload's quick test-size "
+                             "parameters (spec params still win)")
+    spec_p.add_argument("--set", action="append", default=[],
+                        metavar="PATH=VALUE",
+                        help="extra dotted-path machine override, e.g. "
+                             "--set prefetch.jump_interval=4 (repeatable)")
+    spec_p.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="also write the repro.experiment/1 artifact "
+                             "(rows + the spec that produced them)")
+
     figure_help = {
         "x1": "extension: on-chip jump-pointer table ablation",
         "x2": "extension: creation overhead + traversal-count sweep",
     }
-    for fig in ("table1", "figure4", "figure5", "figure6", "figure7", "x1", "x2"):
-        p = sub.add_parser(fig, help=figure_help.get(fig, f"reproduce {fig}"))
+    for fig in ("table1", "figure4", "figure5", "figure6", "figure7", "x1",
+                "x2", "run-spec"):
+        p = sub.choices[fig] if fig == "run-spec" else sub.add_parser(
+            fig, help=figure_help.get(fig, f"reproduce {fig}"))
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="run sweep cells across N worker processes "
                             "(default: 1, serial)")
@@ -395,15 +529,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return cmd_list(args)
-    if args.command == "run":
-        return cmd_run(args)
-    if args.command == "stats":
-        return cmd_stats(args)
-    if args.command == "trace":
-        return cmd_trace(args)
-    return cmd_figure(args)
+    try:
+        if args.command == "list":
+            return cmd_list(args)
+        if args.command == "run":
+            return cmd_run(args)
+        if args.command == "stats":
+            return cmd_stats(args)
+        if args.command == "trace":
+            return cmd_trace(args)
+        if args.command == "run-spec":
+            return cmd_run_spec(args)
+        return cmd_figure(args)
+    except SpecError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    except ConfigError as exc:
+        # A bad --set path / value is a usage error, not a crash.
+        raise SystemExit(f"error: {exc}") from None
 
 
 if __name__ == "__main__":

@@ -3,22 +3,181 @@
 The defaults mirror Table 2 of the paper (the "Simulated Machine
 Configuration" used for every experiment).  All sizes are in bytes and all
 latencies in core cycles unless noted otherwise.
+
+Every config dataclass is serializable (``to_dict``/``from_dict`` with
+strict unknown-key rejection) and supports declarative dotted-path
+overrides::
+
+    bench_config().with_overrides({"prefetch.jump_interval": 4,
+                                   "memory_latency": 280})
+
+which is how experiment spec files (:mod:`repro.harness.spec`) describe
+machine variations.  Named machines live in the :data:`MACHINES`
+registry ("table2", "bench", "small"); :func:`register_machine` adds new
+ones.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping, get_type_hints
 
 from .errors import ConfigError
+from .registry import Registry
 
 
 def _check_power_of_two(name: str, value: int) -> None:
-    if value <= 0 or value & (value - 1):
+    if not isinstance(value, int) or isinstance(value, bool) \
+            or value <= 0 or value & (value - 1):
         raise ConfigError(f"{name} must be a positive power of two, got {value}")
 
 
+def _check_positive(name: str, value: int) -> None:
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ConfigError(f"{name} must be a positive integer, got {value}")
+
+
+# ----------------------------------------------------------------------
+# Serialization and dotted-path overrides (shared by every config class)
+# ----------------------------------------------------------------------
+
+def _leaf_compatible(current: Any, value: Any) -> bool:
+    """Loose type agreement for an override leaf: ints for ints, numbers
+    for floats, bools for bools — rejects category errors (a dict where a
+    latency goes) without blocking e.g. an int for a float field."""
+    if isinstance(current, bool):
+        return isinstance(value, bool)
+    if isinstance(current, int):
+        return isinstance(value, int) and not isinstance(value, bool)
+    if isinstance(current, float):
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    return isinstance(value, type(current))
+
+
+def _config_from_dict(cls: type, data: Any, context: str = "") -> Any:
+    """Strict recursive constructor: unknown keys and malformed nesting
+    raise :class:`ConfigError` instead of being silently dropped."""
+    if not isinstance(data, Mapping):
+        raise ConfigError(
+            f"{cls.__name__} expects a mapping, got {type(data).__name__}"
+        )
+    hints = get_type_hints(cls)
+    known = {f.name for f in dataclasses.fields(cls)}
+    kwargs: dict[str, Any] = {}
+    for key, value in data.items():
+        if key not in known:
+            raise ConfigError(
+                f"unknown config key {context + str(key)!r} "
+                f"for {cls.__name__}; known keys: {sorted(known)}"
+            )
+        ftype = hints[key]
+        if dataclasses.is_dataclass(ftype):
+            value = _config_from_dict(ftype, value, context=f"{context}{key}.")
+        elif not _annotation_compatible(ftype, value):
+            raise ConfigError(
+                f"config key {context + str(key)!r} expects "
+                f"{ftype.__name__}, got {type(value).__name__} ({value!r})"
+            )
+        kwargs[key] = value
+    return cls(**kwargs)
+
+
+def _annotation_compatible(ftype: type, value: Any) -> bool:
+    """Leaf agreement against the declared field type (same rules as
+    :func:`_leaf_compatible`, keyed on the annotation instead of the
+    current value)."""
+    if ftype is bool:
+        return isinstance(value, bool)
+    if ftype is int:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if ftype is float:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    try:
+        return isinstance(value, ftype)
+    except TypeError:  # exotic annotation (e.g. parametrized generics)
+        return True
+
+
+def _override_section(current: Any, path: str, value: Any) -> Any:
+    """A mapping assigned to a section path merges field-by-field."""
+    if not isinstance(value, Mapping):
+        raise ConfigError(
+            f"config path {path!r} names a {type(current).__name__} "
+            "section; assign a mapping of its fields or extend the path"
+        )
+    known = {f.name for f in dataclasses.fields(current)}
+    unknown = set(value) - known
+    if unknown:
+        raise ConfigError(
+            f"unknown config key(s) {sorted(unknown)} under {path!r}; "
+            f"known keys: {sorted(known)}"
+        )
+    return replace(current, **dict(value))
+
+
+def _override_path(obj: Any, full: str, parts: list[str], value: Any) -> Any:
+    name = parts[0]
+    if not dataclasses.is_dataclass(obj) or not name or \
+            name not in {f.name for f in dataclasses.fields(obj)}:
+        owner = type(obj).__name__
+        raise ConfigError(
+            f"unknown config path {full!r}: {owner} has no field {name!r}"
+        )
+    current = getattr(obj, name)
+    if len(parts) > 1:
+        if not dataclasses.is_dataclass(current):
+            raise ConfigError(
+                f"config path {full!r} descends into {name!r}, "
+                "which is not a config section"
+            )
+        value = _override_path(current, full, parts[1:], value)
+    elif dataclasses.is_dataclass(current):
+        value = _override_section(current, full, value)
+    elif not _leaf_compatible(current, value):
+        raise ConfigError(
+            f"config path {full!r} expects {type(current).__name__}, "
+            f"got {type(value).__name__} ({value!r})"
+        )
+    return replace(obj, **{name: value})
+
+
+class SerializableConfig:
+    """Mixin: dict round-trip plus dotted-path overrides.
+
+    ``from_dict(cfg.to_dict()) == cfg`` holds for every config class;
+    both directions validate (construction runs ``__post_init__``,
+    parsing rejects unknown keys)."""
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe nested dict of every field (the cache-key form)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SerializableConfig":
+        """Inverse of :meth:`to_dict`; missing keys take field defaults,
+        unknown keys raise :class:`~repro.errors.ConfigError`."""
+        return _config_from_dict(cls, data)
+
+    def with_overrides(
+        self, overrides: Mapping[str, Any] | None
+    ) -> "SerializableConfig":
+        """A copy with dotted-path fields replaced, e.g.
+        ``{"prefetch.jump_interval": 4, "dl1.size": 16384}``.  Paths are
+        validated against the dataclass tree; a path ending at a nested
+        section accepts a mapping of that section's fields."""
+        cfg = self
+        for path, value in (overrides or {}).items():
+            cfg = _override_path(cfg, path, str(path).split("."), value)
+        return cfg
+
+
+# ----------------------------------------------------------------------
+# Config dataclasses
+# ----------------------------------------------------------------------
+
 @dataclass(frozen=True)
-class CacheConfig:
+class CacheConfig(SerializableConfig):
     """Geometry and access latency of one set-associative cache."""
 
     size: int
@@ -45,7 +204,7 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
-class TLBConfig:
+class TLBConfig(SerializableConfig):
     """A fully-associative TLB with hardware miss handling."""
 
     entries: int
@@ -56,10 +215,14 @@ class TLBConfig:
         _check_power_of_two("TLB page size", self.page_size)
         if self.entries <= 0:
             raise ConfigError("TLB must have at least one entry")
+        if self.miss_penalty < 0:
+            raise ConfigError(
+                f"TLB miss penalty must be non-negative, got {self.miss_penalty}"
+            )
 
 
 @dataclass(frozen=True)
-class BusConfig:
+class BusConfig(SerializableConfig):
     """A bus transferring ``width`` bytes per bus cycle.
 
     ``clock_divisor`` is the ratio of core frequency to bus frequency; the
@@ -69,6 +232,10 @@ class BusConfig:
     width: int = 8
     clock_divisor: int = 2
 
+    def __post_init__(self) -> None:
+        _check_power_of_two("bus width", self.width)
+        _check_power_of_two("bus clock divisor", self.clock_divisor)
+
     def cycles_for(self, nbytes: int) -> int:
         """Core cycles the bus is occupied transferring ``nbytes``."""
         beats = -(-nbytes // self.width)  # ceil division
@@ -76,7 +243,7 @@ class BusConfig:
 
 
 @dataclass(frozen=True)
-class FuncUnitConfig:
+class FuncUnitConfig(SerializableConfig):
     """Counts and latencies of the functional unit pool (Table 2)."""
 
     int_alu: int = 4
@@ -94,9 +261,16 @@ class FuncUnitConfig:
     mem_ports: int = 2
     mem_port_latency: int = 1
 
+    def __post_init__(self) -> None:
+        for f in dataclasses.fields(self):
+            label = "latency" if f.name.endswith("_latency") else "count"
+            _check_positive(
+                f"functional unit {label} {f.name!r}", getattr(self, f.name)
+            )
+
 
 @dataclass(frozen=True)
-class BranchPredConfig:
+class BranchPredConfig(SerializableConfig):
     """8K-entry combined gshare/bimodal predictor with a 2K 4-way BTB."""
 
     meta_entries: int = 8192
@@ -111,7 +285,7 @@ class BranchPredConfig:
 
 
 @dataclass(frozen=True)
-class PrefetchConfig:
+class PrefetchConfig(SerializableConfig):
     """Parameters of the DBP and jump-pointer hardware (Table 2)."""
 
     # Dependence predictor (DBP)
@@ -139,7 +313,7 @@ class PrefetchConfig:
 
 
 @dataclass(frozen=True)
-class MachineConfig:
+class MachineConfig(SerializableConfig):
     """Full simulated machine, defaulting to the paper's Table 2."""
 
     fetch_width: int = 4
@@ -179,14 +353,41 @@ class MachineConfig:
 
     def with_memory_latency(self, latency: int) -> "MachineConfig":
         """The Figure 7 sweep: same machine, different main-memory latency."""
-        return replace(self, memory_latency=latency)
+        return self.with_overrides({"memory_latency": latency})
 
     def with_jump_interval(self, interval: int) -> "MachineConfig":
-        return replace(self, prefetch=replace(self.prefetch, jump_interval=interval))
+        return self.with_overrides({"prefetch.jump_interval": interval})
 
     def perfect(self) -> "MachineConfig":
         """Variant used to measure compute time (single-cycle data memory)."""
         return replace(self, perfect_data_memory=True)
+
+
+# ----------------------------------------------------------------------
+# Named machines
+# ----------------------------------------------------------------------
+
+#: Named machine registry: name -> zero-argument factory returning a
+#: :class:`MachineConfig`.  Experiment specs select machines by name.
+MACHINES: Registry[Callable[[], MachineConfig]] = Registry(
+    "machine", error=ConfigError
+)
+
+
+def register_machine(
+    name: str, factory: Callable[[], MachineConfig]
+) -> Callable[[], MachineConfig]:
+    """Add a named machine; returns ``factory`` so it can decorate."""
+    return MACHINES.register(name, factory)
+
+
+def get_machine(name: str) -> MachineConfig:
+    """A fresh :class:`MachineConfig` for the named machine."""
+    return MACHINES.get(name)()
+
+
+def machine_names() -> list[str]:
+    return MACHINES.names()
 
 
 def table2_config() -> MachineConfig:
@@ -227,3 +428,8 @@ def small_config() -> MachineConfig:
         dl1=CacheConfig(size=4 * 1024, line=32, assoc=2, latency=1),
         l2=CacheConfig(size=32 * 1024, line=64, assoc=4, latency=12),
     )
+
+
+register_machine("table2", table2_config)
+register_machine("bench", bench_config)
+register_machine("small", small_config)

@@ -40,13 +40,22 @@ class Idiom(enum.Enum):
 
     @property
     def jump_pointers_per_node(self) -> int:
-        """Jump-pointer storage cost per backbone node (FULL pays one per
-        rib as well; ROOT pays one per *structure*, reported as 0 here)."""
+        """Per-backbone-node jump-pointer storage cost.  QUEUE and CHAIN
+        pay one per node, FULL pays a second one for the rib(s), and ROOT
+        pays none at all per node — its single jump-pointer is per
+        *structure* (see :attr:`jump_pointers_per_structure`)."""
         if self is Idiom.FULL:
             return 2
         if self is Idiom.ROOT:
             return 0
         return 1
+
+    @property
+    def jump_pointers_per_structure(self) -> int:
+        """Fixed per-structure storage cost: ROOT keeps exactly one
+        jump-pointer to the next structure's root; every other idiom's
+        cost scales with node count instead (Section 2.2)."""
+        return 1 if self is Idiom.ROOT else 0
 
 
 @dataclass(frozen=True)

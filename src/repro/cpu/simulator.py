@@ -5,24 +5,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import MachineConfig
-from ..errors import ConfigError
 from ..isa.program import Program
 from ..prefetch.base import PrefetchEngine
-from ..prefetch.engines import ENGINE_CLASSES
+from ..prefetch.engines import ENGINES
 from .stats import SimResult
 from .timing import TimingModel
 
 
 def make_engine(name: str, cfg: MachineConfig) -> PrefetchEngine:
-    """Instantiate a prefetch engine by name:
-    ``none``, ``software``, ``dbp``, ``cooperative`` or ``hardware``."""
-    try:
-        cls = ENGINE_CLASSES[name]
-    except KeyError:
-        raise ConfigError(
-            f"unknown prefetch engine {name!r}; choose from {sorted(ENGINE_CLASSES)}"
-        ) from None
-    return cls(cfg.prefetch)
+    """Instantiate a prefetch engine by registry name (``none``,
+    ``software``, ``dbp``, ``cooperative``, ``hardware``, plus anything
+    added via :func:`repro.prefetch.register_engine`)."""
+    return ENGINES.get(name)(cfg.prefetch)
 
 
 def simulate(

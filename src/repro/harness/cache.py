@@ -4,7 +4,8 @@ Every experiment cell (one ``simulate()`` call) is identified by a
 SHA-256 key over the *complete* set of inputs that determine its outcome:
 
 * the canonicalized :class:`~repro.config.MachineConfig` (every nested
-  dataclass field, via ``dataclasses.asdict``),
+  dataclass field, via ``MachineConfig.to_dict``) — covering dotted-path
+  overrides from experiment spec files just like hand-built configs,
 * the workload name, its parameters, and the program variant,
 * the prefetch engine name,
 * a fingerprint of the simulator source code (every ``.py`` file in the
@@ -25,7 +26,6 @@ under the current working directory.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 import os
@@ -65,14 +65,20 @@ def code_fingerprint() -> str:
 
 
 def canonical_spec(spec: "RunSpec") -> dict[str, Any]:
-    """The JSON-stable identity of one cell (the hash pre-image)."""
+    """The JSON-stable identity of one cell (the hash pre-image).
+
+    The config enters through ``MachineConfig.to_dict()`` (identical to
+    ``dataclasses.asdict``, so keys predate the serde layer), which is
+    what makes spec-file overrides cache-compatible with the historical
+    ``with_*`` helpers: equal configs hash equally however they were
+    built."""
     return {
         "benchmark": spec.benchmark,
         "params": {k: v for k, v in spec.params},
         "variant": spec.variant,
         "engine": spec.engine,
         "kind": spec.kind,
-        "config": dataclasses.asdict(spec.cfg),
+        "config": spec.cfg.to_dict(),
         "code": code_fingerprint(),
     }
 

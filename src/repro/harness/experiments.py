@@ -12,6 +12,13 @@ optionally served from the on-disk :class:`~repro.harness.cache.
 ResultCache`, and executed serially or across ``jobs`` worker processes
 with identical row output either way.  A failed cell yields an error row
 (benchmark, scheme, error text) instead of aborting the sweep.
+
+The paper artifacts (``table1``, ``figure4``–``figure7``) are now thin
+wrappers: each builds the equivalent declarative
+:class:`~repro.harness.spec.ExperimentSpec` (the ``*_spec`` builders
+below) and hands it to :func:`~repro.harness.spec.run_spec`.  The same
+specs ship as files under ``examples/specs/`` for ``repro run-spec``;
+file and wrapper produce bit-identical rows.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ from dataclasses import replace
 from typing import Any
 
 from ..config import MachineConfig, bench_config
-from ..workloads import get_workload, workload_class
+from ..workloads import workload_class
 from .cache import ResultCache
 from .executor import (
     Progress,
@@ -31,6 +38,7 @@ from .executor import (
     error_row,
 )
 from .runner import SCHEMES
+from .spec import Axis, ExperimentSpec, WorkloadSel, run_spec
 
 #: The paper's benchmark suite (the `spmv` extension workload is opt-in).
 OLDEN = ("bh", "bisort", "em3d", "health", "mst", "perimeter", "power",
@@ -69,6 +77,22 @@ def _resolve(
 # Table 1 — benchmark characterization
 # ----------------------------------------------------------------------
 
+def table1_spec(
+    benchmarks: tuple[str, ...] | None = None,
+    params: dict[str, dict[str, Any]] | None = None,
+) -> ExperimentSpec:
+    """The declarative form of :func:`table1` (``examples/specs/table1.toml``)."""
+    return ExperimentSpec(
+        name="table1",
+        title="Table 1 — benchmark characterization",
+        kind="table1",
+        workloads=tuple(
+            WorkloadSel(name, params=dict((params or {}).get(name) or {}))
+            for name in benchmarks or OLDEN
+        ),
+    )
+
+
 def table1(
     cfg: MachineConfig | None = None,
     benchmarks: tuple[str, ...] | None = None,
@@ -78,27 +102,32 @@ def table1(
     progress: Progress | None = None,
     executor: SweepExecutor | None = None,
 ) -> list[dict[str, object]]:
-    cfg = cfg or bench_config()
-    plan = SweepPlan(cfg)
-    cells = [
-        (name, plan.add_table1(name, (params or {}).get(name)))
-        for name in benchmarks or OLDEN
-    ]
-    results = plan.execute(jobs=jobs, cache=cache, progress=progress,
-                           executor=executor)
-    rows = []
-    for name, spec in cells:
-        cell = results.cell(spec)
-        if cell.ok:
-            rows.append(cell.result)
-        else:
-            rows.append(error_row(name, "characterize", cell.error))
-    return rows
+    return run_spec(table1_spec(benchmarks, params), cfg=cfg or bench_config(),
+                    jobs=jobs, cache=cache, progress=progress,
+                    executor=executor)
 
 
 # ----------------------------------------------------------------------
 # Figure 4 — comparing idioms (software and cooperative)
 # ----------------------------------------------------------------------
+
+def figure4_spec(
+    subjects: dict[str, tuple[str, ...]] | None = None,
+    params: dict[str, dict[str, Any]] | None = None,
+) -> ExperimentSpec:
+    """The declarative form of :func:`figure4` (``examples/specs/figure4.toml``)."""
+    return ExperimentSpec(
+        name="figure4",
+        title="Figure 4 — comparing idioms (software and cooperative)",
+        label_key="config",
+        workloads=tuple(
+            WorkloadSel(name, params=dict((params or {}).get(name) or {}),
+                        idioms=tuple(idioms))
+            for name, idioms in (subjects or FIGURE4_SUBJECTS).items()
+        ),
+        columns=("benchmark", "config", "normalized", "compute", "memory"),
+    )
+
 
 def figure4(
     cfg: MachineConfig | None = None,
@@ -109,55 +138,33 @@ def figure4(
     progress: Progress | None = None,
     executor: SweepExecutor | None = None,
 ) -> list[dict[str, object]]:
-    cfg = cfg or bench_config()
-    plan = SweepPlan(cfg)
-    scheduled = []
-    for name, idioms in (subjects or FIGURE4_SUBJECTS).items():
-        p = (params or {}).get(name)
-        workload = get_workload(name, **(p or {}))
-        base = plan.add_run(name, "base", p)
-        variant_runs = []
-        for impl, engine in (("sw", "software"), ("coop", "cooperative")):
-            for idiom in idioms:
-                variant = f"{impl}:{idiom}"
-                if variant not in workload.variants:
-                    continue
-                variant_runs.append(plan.add_variant_run(name, variant, engine, p))
-        scheduled.append((name, base, variant_runs))
-    results = plan.execute(jobs=jobs, cache=cache, progress=progress,
-                           executor=executor)
-
-    rows = []
-    for name, base_sr, variant_runs in scheduled:
-        base, base_err = _resolve(results, base_sr)
-        if base_err is not None:
-            rows.append(error_row(name, "base", base_err, label_key="config"))
-        else:
-            rows.append({
-                "benchmark": name, "config": "base", "normalized": 1.0,
-                "compute": base.compute, "memory": base.memory,
-            })
-        for vsr in variant_runs:
-            run, err = _resolve(results, vsr)
-            if err is not None or base is None:
-                rows.append(error_row(
-                    name, vsr.variant, err or "baseline run failed",
-                    label_key="config",
-                ))
-                continue
-            rows.append({
-                "benchmark": name,
-                "config": vsr.variant,
-                "normalized": round(run.normalized(base.total), 3),
-                "compute": run.compute,
-                "memory": run.memory,
-            })
-    return rows
+    return run_spec(figure4_spec(subjects, params), cfg=cfg or bench_config(),
+                    jobs=jobs, cache=cache, progress=progress,
+                    executor=executor)
 
 
 # ----------------------------------------------------------------------
 # Figure 5 — comparing implementations (+ DBP)
 # ----------------------------------------------------------------------
+
+def figure5_spec(
+    benchmarks: tuple[str, ...] | None = None,
+    params: dict[str, dict[str, Any]] | None = None,
+    schemes: tuple[str, ...] = SCHEMES,
+) -> ExperimentSpec:
+    """The declarative form of :func:`figure5` (``examples/specs/figure5.toml``)."""
+    return ExperimentSpec(
+        name="figure5",
+        title="Figure 5 — comparing implementations (+ DBP)",
+        workloads=tuple(
+            WorkloadSel(name, params=dict((params or {}).get(name) or {}))
+            for name in benchmarks or OLDEN
+        ),
+        schemes=tuple(schemes),
+        columns=("benchmark", "scheme", "variant", "normalized",
+                 "compute", "memory", "mem_reduction%"),
+    )
+
 
 def figure5(
     cfg: MachineConfig | None = None,
@@ -169,37 +176,9 @@ def figure5(
     progress: Progress | None = None,
     executor: SweepExecutor | None = None,
 ) -> list[dict[str, object]]:
-    cfg = cfg or bench_config()
-    plan = SweepPlan(cfg)
-    scheduled = []
-    for name in benchmarks or OLDEN:
-        p = (params or {}).get(name)
-        per_scheme = {s: plan.add_run(name, s, p) for s in schemes}
-        # Normalization needs the baseline even when it is not displayed;
-        # deduplication makes this free when "base" is already in schemes.
-        base_sr = per_scheme.get("base") or plan.add_run(name, "base", p)
-        scheduled.append((name, per_scheme, base_sr))
-    results = plan.execute(jobs=jobs, cache=cache, progress=progress,
-                           executor=executor)
-
-    rows = []
-    for name, per_scheme, base_sr in scheduled:
-        base, base_err = _resolve(results, base_sr)
-        for scheme in schemes:
-            run, err = _resolve(results, per_scheme[scheme])
-            if err is not None or base is None:
-                rows.append(error_row(name, scheme, err or base_err or ""))
-                continue
-            rows.append({
-                "benchmark": name,
-                "scheme": scheme,
-                "variant": run.variant,
-                "normalized": round(run.normalized(base.total), 3),
-                "compute": run.compute,
-                "memory": run.memory,
-                "mem_reduction%": round(100 * run.memory_reduction(base.memory), 1),
-            })
-    return rows
+    return run_spec(figure5_spec(benchmarks, params, schemes),
+                    cfg=cfg or bench_config(), jobs=jobs, cache=cache,
+                    progress=progress, executor=executor)
 
 
 def figure5_summary(rows: list[dict[str, object]]) -> list[dict[str, object]]:
@@ -229,6 +208,26 @@ def figure5_summary(rows: list[dict[str, object]]) -> list[dict[str, object]]:
 # Figure 6 — bandwidth (bytes L1<->L2 per baseline dynamic instruction)
 # ----------------------------------------------------------------------
 
+def figure6_spec(
+    benchmarks: tuple[str, ...] | None = None,
+    params: dict[str, dict[str, Any]] | None = None,
+) -> ExperimentSpec:
+    """The declarative form of :func:`figure6` (``examples/specs/figure6.toml``).
+
+    The ``bytes/inst`` metric normalizes by the *original* (baseline)
+    program's instruction count so added prefetch instructions do not
+    bias the metric."""
+    return ExperimentSpec(
+        name="figure6",
+        title="Figure 6 — bandwidth (bytes L1<->L2 per baseline instruction)",
+        workloads=tuple(
+            WorkloadSel(name, params=dict((params or {}).get(name) or {}))
+            for name in benchmarks or OLDEN
+        ),
+        columns=("benchmark", "scheme", "bytes/inst"),
+    )
+
+
 def figure6(
     cfg: MachineConfig | None = None,
     benchmarks: tuple[str, ...] | None = None,
@@ -238,39 +237,38 @@ def figure6(
     progress: Progress | None = None,
     executor: SweepExecutor | None = None,
 ) -> list[dict[str, object]]:
-    cfg = cfg or bench_config()
-    plan = SweepPlan(cfg)
-    scheduled = []
-    for name in benchmarks or OLDEN:
-        p = (params or {}).get(name)
-        scheduled.append((name, {s: plan.add_run(name, s, p) for s in SCHEMES}))
-    results = plan.execute(jobs=jobs, cache=cache, progress=progress,
-                           executor=executor)
-
-    rows = []
-    for name, per_scheme in scheduled:
-        base, base_err = _resolve(results, per_scheme["base"])
-        # Normalize by the *original* (baseline) program's instruction
-        # count so added prefetch instructions do not bias the metric.
-        base_insts = base.result.instructions if base else 0
-        for scheme in SCHEMES:
-            run, err = _resolve(results, per_scheme[scheme])
-            if err is not None or not base_insts:
-                rows.append(error_row(name, scheme, err or base_err or ""))
-                continue
-            rows.append({
-                "benchmark": name,
-                "scheme": scheme,
-                "bytes/inst": round(
-                    run.result.hierarchy.bytes_l1_l2 / base_insts, 3
-                ),
-            })
-    return rows
+    return run_spec(figure6_spec(benchmarks, params), cfg=cfg or bench_config(),
+                    jobs=jobs, cache=cache, progress=progress,
+                    executor=executor)
 
 
 # ----------------------------------------------------------------------
 # Figure 7 — tolerating longer latencies (health)
 # ----------------------------------------------------------------------
+
+def figure7_spec(
+    latencies: tuple[int, ...] = (70, 280),
+    intervals: tuple[int, ...] = (8, 16),
+    params: dict[str, Any] | None = None,
+) -> ExperimentSpec:
+    """The declarative form of :func:`figure7` (``examples/specs/figure7.toml``).
+
+    The interval axis is *linked*: one value sets both the machine's
+    ``prefetch.jump_interval`` and the workload's ``interval`` parameter
+    (the paper tunes the software in step with the hardware)."""
+    return ExperimentSpec(
+        name="figure7",
+        title="Figure 7 — tolerating longer latencies (health)",
+        workloads=(WorkloadSel("health", params=dict(params or {})),),
+        axes=(
+            Axis("latency", tuple(latencies), ("machine.memory_latency",)),
+            Axis("interval", tuple(intervals),
+                 ("machine.prefetch.jump_interval", "params.interval")),
+        ),
+        columns=("latency", "interval", "scheme", "total",
+                 "normalized", "mem_reduction%"),
+    )
+
 
 def figure7(
     cfg: MachineConfig | None = None,
@@ -282,46 +280,9 @@ def figure7(
     progress: Progress | None = None,
     executor: SweepExecutor | None = None,
 ) -> list[dict[str, object]]:
-    cfg = cfg or bench_config()
-    plan = SweepPlan(cfg)
-    scheduled = []
-    for latency in latencies:
-        for interval in intervals:
-            mcfg = replace(
-                cfg.with_memory_latency(latency),
-                prefetch=replace(cfg.prefetch, jump_interval=interval),
-            )
-            wparams = dict(params or {})
-            wparams["interval"] = interval
-            per_scheme = {
-                s: plan.add_run("health", s, wparams, cfg=mcfg)
-                for s in SCHEMES
-            }
-            scheduled.append((latency, interval, per_scheme))
-    results = plan.execute(jobs=jobs, cache=cache, progress=progress,
-                           executor=executor)
-
-    rows = []
-    for latency, interval, per_scheme in scheduled:
-        base, base_err = _resolve(results, per_scheme["base"])
-        for scheme in SCHEMES:
-            run, err = _resolve(results, per_scheme[scheme])
-            if err is not None or base is None:
-                row = error_row("health", scheme, err or base_err or "")
-                row.update(latency=latency, interval=interval)
-                rows.append(row)
-                continue
-            rows.append({
-                "latency": latency,
-                "interval": interval,
-                "scheme": scheme,
-                "total": run.total,
-                "normalized": round(run.normalized(base.total), 3),
-                "mem_reduction%": round(
-                    100 * run.memory_reduction(base.memory), 1
-                ),
-            })
-    return rows
+    return run_spec(figure7_spec(latencies, intervals, params),
+                    cfg=cfg or bench_config(), jobs=jobs, cache=cache,
+                    progress=progress, executor=executor)
 
 
 # ----------------------------------------------------------------------

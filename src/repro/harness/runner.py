@@ -24,10 +24,23 @@ from typing import Any
 from ..config import MachineConfig, bench_config
 from ..cpu.simulator import simulate
 from ..cpu.stats import SimResult
-from ..errors import WorkloadError
-from ..workloads import Workload, get_workload
+from ..workloads import get_workload
+from .schemes import scheme_names, scheme_plan
 
-SCHEMES = ("base", "software", "cooperative", "hardware", "dbp")
+__all__ = [
+    "SCHEMES", "BenchmarkRunner", "SchemeRun", "run_scheme", "scheme_plan",
+]
+
+
+def _schemes() -> tuple[str, ...]:
+    """The run matrix's scheme axis, straight from the registry."""
+    return tuple(scheme_names())
+
+
+#: The paper's five schemes in presentation order.  Derived from the
+#: scheme registry at import time so the two can never drift; prefer
+#: :func:`repro.harness.schemes.scheme_names` for late-registered ones.
+SCHEMES = _schemes()
 
 
 @dataclass
@@ -69,33 +82,6 @@ class SchemeRun:
             d["normalized"] = self.normalized(baseline_total)
         d["result"] = self.result.to_dict()
         return d
-
-
-def scheme_plan(workload: Workload, scheme: str, idiom: str | None = None) -> tuple[str, str]:
-    """Maps a scheme to (program variant, engine name)."""
-    if scheme == "base":
-        return "baseline", "none"
-    if scheme == "hardware":
-        return "baseline", "hardware"
-    if scheme == "dbp":
-        return "baseline", "dbp"
-    if scheme in ("software", "cooperative"):
-        prefix = "sw:" if scheme == "software" else "coop:"
-        if idiom is not None:
-            variant = prefix + idiom
-            if variant not in workload.variants:
-                raise WorkloadError(
-                    f"{workload.name}: no variant {variant!r}; "
-                    f"available: {workload.variants}"
-                )
-        else:
-            variant = workload.best_variant(scheme)
-            if variant is None:
-                raise WorkloadError(
-                    f"{workload.name} has no {scheme} variant"
-                )
-        return variant, "software" if scheme == "software" else "cooperative"
-    raise WorkloadError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
 
 
 class BenchmarkRunner:

@@ -5,9 +5,12 @@ from .base import EngineStats, PrefetchEngine, SoftwarePrefetchEngine
 from .dependence import DependencePredictor, ValueCorrelator
 from .engines import (
     ENGINE_CLASSES,
+    ENGINES,
     CooperativeEngine,
     DBPEngine,
     HardwareJPPEngine,
+    engine_names,
+    register_engine,
 )
 from .jqt import JumpPointerStorage, JumpQueueTable
 
@@ -18,6 +21,9 @@ __all__ = [
     "DBPEngine",
     "DependencePredictor",
     "ENGINE_CLASSES",
+    "ENGINES",
+    "engine_names",
+    "register_engine",
     "EngineStats",
     "HardwareJPPEngine",
     "JumpPointerStorage",

@@ -15,13 +15,37 @@
 from __future__ import annotations
 
 from ..config import PrefetchConfig
+from ..errors import ConfigError
 from ..isa.instruction import Instruction
 from ..obs.outcomes import EARLY, LATE, classify_timeliness
+from ..registry import Registry
 from .base import EngineStats, PrefetchEngine, SoftwarePrefetchEngine
 from .dependence import DependencePredictor, ValueCorrelator
 from .jqt import JumpPointerStorage, JumpQueueTable
 
+#: Named prefetch-engine registry.  Schemes
+#: (:mod:`repro.harness.schemes`) and the simulator dispatch by lookup;
+#: :func:`register_engine` adds new engines without touching either.
+ENGINES: Registry[type[PrefetchEngine]] = Registry(
+    "prefetch engine", error=ConfigError
+)
 
+
+def register_engine(cls: type[PrefetchEngine]) -> type[PrefetchEngine]:
+    """Class decorator adding an engine under its ``name`` attribute."""
+    ENGINES.register(cls.name, cls)
+    return cls
+
+
+def engine_names() -> list[str]:
+    return ENGINES.names()
+
+
+register_engine(PrefetchEngine)          # "none"
+register_engine(SoftwarePrefetchEngine)  # "software"
+
+
+@register_engine
 class DBPEngine(PrefetchEngine):
     """Dependence-based prefetching (no jump-pointers)."""
 
@@ -126,6 +150,7 @@ class DBPEngine(PrefetchEngine):
             self._trigger(inst.index, value, time)
 
 
+@register_engine
 class CooperativeEngine(DBPEngine):
     """DBP hardware driven by software jump-pointer prefetches (``JPF``)."""
 
@@ -177,6 +202,7 @@ class CooperativeEngine(DBPEngine):
         super().on_load_commit(inst, addr, value, time, producer_pc, producer_value)
 
 
+@register_engine
 class HardwareJPPEngine(DBPEngine):
     """DBP + JQT/JPR: fully automatic jump-pointer prefetching."""
 
@@ -258,10 +284,9 @@ class HardwareJPPEngine(DBPEngine):
             self.hierarchy.jp_store(slot, time)
 
 
-ENGINE_CLASSES: dict[str, type[PrefetchEngine]] = {
-    "none": PrefetchEngine,
-    "software": SoftwarePrefetchEngine,
-    "dbp": DBPEngine,
-    "cooperative": CooperativeEngine,
-    "hardware": HardwareJPPEngine,
-}
+def _engine_classes() -> dict[str, type[PrefetchEngine]]:
+    """Back-compat snapshot of the registry (prefer :data:`ENGINES`)."""
+    return ENGINES.as_dict()
+
+
+ENGINE_CLASSES: dict[str, type[PrefetchEngine]] = _engine_classes()

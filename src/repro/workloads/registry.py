@@ -1,50 +1,43 @@
-"""Workload registry: name -> class, with lazy imports."""
+"""Workload registry: name -> class, with lazy imports.
+
+Built on the shared :class:`repro.registry.Registry` — the same pattern
+that names machines (:data:`repro.config.MACHINES`), prefetch engines
+(:data:`repro.prefetch.engines.ENGINES`), and schemes
+(:data:`repro.harness.schemes.SCHEME_REGISTRY`).
+"""
 
 from __future__ import annotations
 
 from typing import Any
 
 from ..errors import WorkloadError
+from ..registry import Registry
 from .base import Workload
 
-_REGISTRY: dict[str, type[Workload]] = {}
+
+def _load_workloads() -> None:
+    from . import olden, spmv  # noqa: F401  (imports register all workloads)
+
+
+WORKLOADS: Registry[type[Workload]] = Registry(
+    "workload", error=WorkloadError, loader=_load_workloads
+)
 
 
 def register(cls: type[Workload]) -> type[Workload]:
     """Class decorator adding a workload to the registry."""
     if not cls.name:
         raise WorkloadError(f"workload class {cls.__name__} has no name")
-    if cls.name in _REGISTRY:
-        raise WorkloadError(f"duplicate workload name {cls.name!r}")
-    _REGISTRY[cls.name] = cls
-    return cls
-
-
-def _ensure_loaded() -> None:
-    from . import olden, spmv  # noqa: F401  (imports register all workloads)
+    return WORKLOADS.register(cls.name, cls)
 
 
 def workload_names() -> list[str]:
-    _ensure_loaded()
-    return sorted(_REGISTRY)
+    return WORKLOADS.names(sort=True)
 
 
 def get_workload(name: str, **params: Any) -> Workload:
-    _ensure_loaded()
-    try:
-        cls = _REGISTRY[name]
-    except KeyError:
-        raise WorkloadError(
-            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
-        ) from None
-    return cls(**params)
+    return WORKLOADS.get(name)(**params)
 
 
 def workload_class(name: str) -> type[Workload]:
-    _ensure_loaded()
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise WorkloadError(
-            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
-        ) from None
+    return WORKLOADS.get(name)

@@ -9,7 +9,9 @@ def test_list_command(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
     assert "health" in out and "treeadd" in out and "spmv" in out
-    assert "schemes:" in out
+    # All four registries appear in the combined listing.
+    for title in ("Machines", "Schemes", "Prefetch engines", "Workloads"):
+        assert title in out
 
 
 def test_run_small(capsys):
@@ -50,6 +52,78 @@ def test_figure_commands_parse():
     for fig in ("table1", "figure4", "figure5", "figure6", "figure7"):
         args = parser.parse_args([fig])
         assert args.command == fig
+
+
+def test_list_single_registry(capsys):
+    assert main(["list", "machines"]) == 0
+    out = capsys.readouterr().out
+    assert "table2" in out and "bench" in out and "small" in out
+    assert "health" not in out  # workloads not printed for one registry
+
+    assert main(["list", "schemes"]) == 0
+    out = capsys.readouterr().out
+    for scheme in ("base", "software", "cooperative", "hardware", "dbp"):
+        assert scheme in out
+
+    assert main(["list", "engines"]) == 0
+    assert "engine" in capsys.readouterr().out
+
+
+def _write_spec(tmp_path, spec):
+    import json
+
+    path = tmp_path / f"{spec.name}.json"
+    path.write_text(json.dumps(spec.to_dict()))
+    return path
+
+
+def test_run_spec_end_to_end(tmp_path, capsys):
+    from repro.harness import figure5_spec
+
+    spec = figure5_spec(benchmarks=("treeadd",))
+    path = _write_spec(tmp_path, spec)
+    assert main(["run-spec", str(path), "--machine", "small", "--small",
+                 "--no-cache", "--journal", str(tmp_path / "j.jsonl")]) == 0
+    out = capsys.readouterr().out
+    assert "treeadd" in out
+    for scheme in ("base", "software", "cooperative", "hardware", "dbp"):
+        assert scheme in out
+
+
+def test_run_spec_artifact_and_set(tmp_path, capsys):
+    import json
+
+    from repro.harness import ExperimentSpec, WorkloadSel
+    from repro.workloads import workload_class
+
+    spec = ExperimentSpec(
+        name="tiny", title="Tiny",
+        workloads=(WorkloadSel(
+            "treeadd", params=workload_class("treeadd").test_params()),),
+        schemes=("base", "hardware"),
+        columns=("benchmark", "scheme", "total", "normalized"),
+    )
+    out_file = tmp_path / "result.json"
+    assert main(["run-spec", str(_write_spec(tmp_path, spec)),
+                 "--machine", "small", "--set", "memory_latency=140",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--journal", str(tmp_path / "j.jsonl"),
+                 "-o", str(out_file)]) == 0
+    doc = json.loads(out_file.read_text())
+    assert doc["schema"] == "repro.experiment/1"
+    assert doc["spec"]["overrides"] == {"memory_latency": 140}
+    assert doc["meta"]["machine"] == "small"  # --machine lands in the spec
+    assert len(doc["rows"]) == 2
+    assert doc["rows"][0]["scheme"] == "base"
+    assert doc["rows"][0]["normalized"] == 1.0
+
+
+def test_run_spec_bad_file_is_clean_error(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{broken")
+    with pytest.raises(SystemExit, match="error:"):
+        main(["run-spec", str(bad), "--no-cache",
+              "--journal", str(tmp_path / "j.jsonl")])
 
 
 def test_stats_text(capsys):

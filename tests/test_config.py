@@ -1,9 +1,21 @@
-"""Machine configuration validation and derived quantities."""
+"""Machine configuration validation, serialization, and derived
+quantities, plus the named machine registry."""
+
+import json
 
 import pytest
 
 from repro import ConfigError, MachineConfig, bench_config, small_config, table2_config
-from repro.config import BusConfig, CacheConfig, TLBConfig
+from repro.config import (
+    MACHINES,
+    BusConfig,
+    CacheConfig,
+    FuncUnitConfig,
+    TLBConfig,
+    get_machine,
+    machine_names,
+    register_machine,
+)
 
 
 class TestCacheConfig:
@@ -54,6 +66,34 @@ class TestBusConfig:
         bus = BusConfig(width=8, clock_divisor=4)
         assert bus.cycles_for(64) == 32
 
+    @pytest.mark.parametrize("width", [0, -8, 3, 12])
+    def test_rejects_bad_width(self, width):
+        # Must fail at construction with ConfigError, not surface later
+        # as a ZeroDivisionError inside cycles_for().
+        with pytest.raises(ConfigError):
+            BusConfig(width=width)
+
+    @pytest.mark.parametrize("divisor", [0, -2, 3])
+    def test_rejects_bad_clock_divisor(self, divisor):
+        with pytest.raises(ConfigError):
+            BusConfig(clock_divisor=divisor)
+
+    def test_rejects_bool_width(self):
+        with pytest.raises(ConfigError):
+            BusConfig(width=True)
+
+
+class TestFuncUnitConfig:
+    @pytest.mark.parametrize("field", ["int_alu", "mem_ports", "fp_add"])
+    def test_rejects_nonpositive_counts(self, field):
+        with pytest.raises(ConfigError):
+            FuncUnitConfig(**{field: 0})
+
+    @pytest.mark.parametrize("field", ["int_div_latency", "fp_mul_latency"])
+    def test_rejects_nonpositive_latencies(self, field):
+        with pytest.raises(ConfigError):
+            FuncUnitConfig(**{field: -1})
+
 
 class TestTLBConfig:
     def test_rejects_zero_entries(self):
@@ -63,6 +103,13 @@ class TestTLBConfig:
     def test_rejects_bad_page(self):
         with pytest.raises(ConfigError):
             TLBConfig(entries=16, page_size=1000)
+
+    def test_rejects_negative_miss_penalty(self):
+        with pytest.raises(ConfigError):
+            TLBConfig(entries=16, miss_penalty=-1)
+
+    def test_zero_miss_penalty_allowed(self):
+        assert TLBConfig(entries=16, miss_penalty=0).miss_penalty == 0
 
 
 class TestMachineConfig:
@@ -110,3 +157,111 @@ class TestMachineConfig:
         cfg = MachineConfig()
         with pytest.raises(Exception):
             cfg.memory_latency = 100  # type: ignore[misc]
+
+
+class TestSerde:
+    def test_to_dict_round_trip(self):
+        cfg = bench_config()
+        assert MachineConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_json_round_trip(self):
+        cfg = table2_config().with_jump_interval(16)
+        back = MachineConfig.from_dict(json.loads(json.dumps(cfg.to_dict())))
+        assert back == cfg
+
+    def test_nested_configs_round_trip(self):
+        d = bench_config().to_dict()
+        assert d["dl1"]["size"] == bench_config().dl1.size
+        assert d["prefetch"]["prefetch_buffer"]["line"] == 32
+
+    def test_rejects_unknown_top_key(self):
+        d = bench_config().to_dict()
+        d["warp_drive"] = 9
+        with pytest.raises(ConfigError, match="warp_drive"):
+            MachineConfig.from_dict(d)
+
+    def test_rejects_unknown_nested_key(self):
+        d = bench_config().to_dict()
+        d["prefetch"]["mystery"] = 1
+        with pytest.raises(ConfigError, match="prefetch.mystery"):
+            MachineConfig.from_dict(d)
+
+    def test_rejects_wrong_leaf_type(self):
+        d = bench_config().to_dict()
+        d["memory_latency"] = "fast"
+        with pytest.raises(ConfigError):
+            MachineConfig.from_dict(d)
+
+    def test_from_dict_validates(self):
+        d = bench_config().to_dict()
+        d["mem_bus"]["width"] = 12
+        with pytest.raises(ConfigError):
+            MachineConfig.from_dict(d)
+
+
+class TestWithOverrides:
+    def test_dotted_paths(self):
+        cfg = bench_config().with_overrides({
+            "memory_latency": 280,
+            "prefetch.jump_interval": 4,
+            "dl1.latency": 2,
+        })
+        assert cfg.memory_latency == 280
+        assert cfg.prefetch.jump_interval == 4
+        assert cfg.dl1.latency == 2
+        assert bench_config().memory_latency == 70  # original untouched
+
+    def test_matches_legacy_helpers(self):
+        cfg = bench_config()
+        assert cfg.with_overrides({"memory_latency": 280}) == \
+            cfg.with_memory_latency(280)
+        assert cfg.with_overrides({"prefetch.jump_interval": 16}) == \
+            cfg.with_jump_interval(16)
+
+    def test_rejects_unknown_path(self):
+        with pytest.raises(ConfigError, match="no_such"):
+            bench_config().with_overrides({"no_such.field": 1})
+
+    def test_rejects_unknown_leaf(self):
+        with pytest.raises(ConfigError):
+            bench_config().with_overrides({"prefetch.bogus": 1})
+
+    def test_rejects_type_mismatch(self):
+        with pytest.raises(ConfigError):
+            bench_config().with_overrides({"memory_latency": "slow"})
+
+    def test_rejects_path_through_leaf(self):
+        with pytest.raises(ConfigError):
+            bench_config().with_overrides({"memory_latency.deeper": 1})
+
+    def test_validation_applies(self):
+        with pytest.raises(ConfigError):
+            bench_config().with_overrides({"l2_bus.width": 0})
+
+
+class TestMachineRegistry:
+    def test_builtin_machines(self):
+        assert machine_names() == ["table2", "bench", "small"]
+        assert get_machine("bench") == bench_config()
+        assert get_machine("table2") == table2_config()
+        assert get_machine("small") == small_config()
+
+    def test_fresh_instance_each_call(self):
+        # Factories return new (equal) configs; no shared mutable state.
+        assert get_machine("bench") is not get_machine("bench")
+
+    def test_unknown_machine(self):
+        with pytest.raises(ConfigError, match="unknown machine"):
+            get_machine("cray")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            register_machine("bench", bench_config)
+
+    def test_register_and_unregister(self):
+        register_machine("test-tiny", small_config)
+        try:
+            assert get_machine("test-tiny") == small_config()
+        finally:
+            MACHINES.unregister("test-tiny")
+        assert "test-tiny" not in MACHINES

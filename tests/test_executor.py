@@ -38,9 +38,9 @@ class PoisonedWorkload(Workload):
 
 @pytest.fixture
 def poisoned():
-    workload_registry._REGISTRY["poisoned"] = PoisonedWorkload
+    workload_registry.register(PoisonedWorkload)
     yield "poisoned"
-    del workload_registry._REGISTRY["poisoned"]
+    workload_registry.WORKLOADS.unregister("poisoned")
 
 
 class TestRunSpec:

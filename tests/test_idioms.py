@@ -23,6 +23,20 @@ class TestIdioms:
         assert Idiom.QUEUE.jump_pointers_per_node == 1
         assert Idiom.ROOT.jump_pointers_per_node == 0
 
+    def test_per_structure_storage_cost(self):
+        # ROOT's single jump-pointer is per structure, not per node —
+        # the two accessors partition the storage cost between them.
+        assert Idiom.ROOT.jump_pointers_per_structure == 1
+        for idiom in (Idiom.QUEUE, Idiom.FULL, Idiom.CHAIN):
+            assert idiom.jump_pointers_per_structure == 0
+            assert idiom.jump_pointers_per_node >= 1
+
+    def test_every_idiom_has_some_storage(self):
+        for idiom in Idiom:
+            total = (idiom.jump_pointers_per_node
+                     + idiom.jump_pointers_per_structure)
+            assert total >= 1
+
 
 class TestImplementations:
     def test_division_of_labour(self):

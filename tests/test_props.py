@@ -1,15 +1,17 @@
 """Property-based tests on ISA semantics, workload mirrors, and the
 sweep harness's content-addressed identities (RunSpec/spec_key) and
-serialization round-trips (SimResult, ResultCache)."""
+serialization round-trips (SimResult, ResultCache, MachineConfig)."""
 
+import dataclasses
 import json
 import tempfile
 from pathlib import Path
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import Assembler, run_to_completion, small_config
+from repro import Assembler, ConfigError, MachineConfig, run_to_completion, small_config
 from repro.harness import ResultCache, RunSpec, spec_key
 from repro.isa.registers import A0, T0, T1, T2, V0, ZERO
 from repro.workloads.olden.common import LCG_MASK, emit_lcg, frand, lcg
@@ -250,6 +252,86 @@ def _walk_program(n=12):
     a.label("done")
     a.halt()
     return a.assemble("props_walk")
+
+
+# ----------------------------------------------------------------------
+# MachineConfig serde round-trips over randomized valid configs
+# ----------------------------------------------------------------------
+
+#: Dotted override paths paired with strategies that only produce values
+#: the config validators accept — so every drawn config is constructible.
+_VALID_OVERRIDES = {
+    "memory_latency": st.integers(min_value=1, max_value=1000),
+    "max_outstanding_misses": st.integers(min_value=1, max_value=64),
+    "window": st.integers(min_value=8, max_value=512),
+    "alloc_latency": st.integers(min_value=0, max_value=64),
+    "dl1.latency": st.integers(min_value=0, max_value=8),
+    "l2.latency": st.integers(min_value=1, max_value=40),
+    "dtlb.miss_penalty": st.integers(min_value=0, max_value=200),
+    "l2_bus.width": st.sampled_from([2, 4, 8, 16, 32]),
+    "mem_bus.clock_divisor": st.sampled_from([1, 2, 4, 8]),
+    "func_units.int_alu": st.integers(min_value=1, max_value=8),
+    "func_units.fp_div_latency": st.integers(min_value=1, max_value=64),
+    "branch_pred.misprediction_penalty": st.integers(min_value=0, max_value=20),
+    "prefetch.jump_interval": st.integers(min_value=1, max_value=64),
+    "prefetch.jqt_entries": st.integers(min_value=1, max_value=256),
+    "prefetch.adaptive_interval": st.booleans(),
+    "perfect_data_memory": st.booleans(),
+}
+
+random_overrides = st.dictionaries(
+    st.sampled_from(sorted(_VALID_OVERRIDES)),
+    st.none(),  # placeholder; values drawn per-key below
+    max_size=6,
+).flatmap(lambda keys: st.fixed_dictionaries(
+    {k: _VALID_OVERRIDES[k] for k in keys}
+))
+
+
+class TestConfigSerdeProps:
+    @given(random_overrides)
+    @settings(max_examples=40, deadline=None)
+    def test_dict_round_trip(self, overrides):
+        cfg = small_config().with_overrides(overrides)
+        assert MachineConfig.from_dict(cfg.to_dict()) == cfg
+
+    @given(random_overrides)
+    @settings(max_examples=25, deadline=None)
+    def test_json_round_trip(self, overrides):
+        cfg = small_config().with_overrides(overrides)
+        blob = json.dumps(cfg.to_dict(), sort_keys=True)
+        assert MachineConfig.from_dict(json.loads(blob)) == cfg
+
+    @given(random_overrides)
+    @settings(max_examples=25, deadline=None)
+    def test_overrides_land_on_the_right_leaf(self, overrides):
+        cfg = small_config().with_overrides(overrides)
+        d = cfg.to_dict()
+        for path, value in overrides.items():
+            node = d
+            for part in path.split("."):
+                node = node[part]
+            assert node == value
+
+    @given(st.text(min_size=1, max_size=12).filter(
+        lambda s: s.split(".")[0] not in
+        {f.name for f in dataclasses.fields(MachineConfig)}
+    ))
+    @settings(max_examples=25, deadline=None)
+    def test_unknown_override_path_rejected(self, path):
+        with pytest.raises(ConfigError):
+            small_config().with_overrides({path: 1})
+
+    @given(st.text(min_size=1, max_size=12).filter(
+        lambda s: s not in
+        {f.name for f in dataclasses.fields(MachineConfig)}
+    ))
+    @settings(max_examples=25, deadline=None)
+    def test_unknown_dict_key_rejected(self, key):
+        d = small_config().to_dict()
+        d[key] = 1
+        with pytest.raises(ConfigError):
+            MachineConfig.from_dict(d)
 
 
 class TestResultRoundTripProps:
