@@ -18,6 +18,8 @@ Examples::
     python -m repro run-spec mysweep.toml --small -o result.json
     python -m repro stats --json                 # telemetry artifact (JSON)
     python -m repro trace health --small -o health.trace.json
+    python -m repro audit --machine small        # full simulation audit
+    python -m repro audit --inject-faults 'em3d//dbp=corrupt'  # auditor drill
 """
 
 from __future__ import annotations
@@ -29,6 +31,8 @@ from dataclasses import replace
 from pathlib import Path
 
 from . import bench_config, table2_config, workload_names
+from .audit import audit_workloads, differential_check, fidelity_gate
+from .audit.gate import DEFAULT_GOLDEN
 from .config import get_machine, machine_names
 from .errors import ConfigError
 from .harness import (
@@ -365,6 +369,79 @@ def cmd_run_spec(args) -> int:
     return 0
 
 
+def cmd_audit(args) -> int:
+    """Invariant sweep + differential validation + golden-drift gate."""
+    failures = 0
+
+    faults = parse_fault_plan(args.inject_faults)
+    if faults is not None:
+        print(f"  injecting faults: {faults.describe()}", file=sys.stderr)
+    cells = audit_workloads(
+        machine=args.machine,
+        workloads=args.workloads or None,
+        schemes=args.schemes or None,
+        interval=args.every,
+        faults=faults,
+        strict=args.strict,
+    )
+    print(format_table(
+        [c.row() for c in cells],
+        f"Invariant sweep — {args.machine} machine, every {args.every} commits",
+    ))
+    for cell in cells:
+        if cell.corrupted:
+            # The drill: a deliberately-corrupted cell MUST be caught.
+            if cell.ok:
+                failures += 1
+                print(f"  DRILL FAILED: corrupted cell {cell.benchmark}/"
+                      f"{cell.scheme} reported no violation", file=sys.stderr)
+        elif not cell.ok:
+            failures += 1
+            for v in cell.violations[:4]:
+                print(f"  VIOLATION: {cell.benchmark}/{cell.scheme} "
+                      f"{v.describe()}", file=sys.stderr)
+
+    golden = Path(args.golden) if args.golden else DEFAULT_GOLDEN
+    if args.no_diff:
+        pass
+    elif not golden.exists():
+        print(f"  (no golden file at {golden}; skipping differential "
+              f"check and fidelity gate)", file=sys.stderr)
+    else:
+        diff_rows = differential_check(
+            golden, machine=args.machine, full_stats_sample=args.diff_sample
+        )
+        print()
+        print(format_table(
+            [{k: row[k] for k in ("cell", "variant", "mode", "ok",
+                                  "divergence")}
+             for row in diff_rows],
+            "Differential validation — fast vs reference interpreter",
+        ))
+        for row in diff_rows:
+            if not row["ok"]:
+                failures += 1
+                for line in row["stat_diffs"]:
+                    print(f"  STAT DIFF: {row['cell']}: {line}",
+                          file=sys.stderr)
+
+    if not args.no_gate and golden.exists():
+        drift = fidelity_gate(golden, machine=args.machine)
+        print()
+        if drift:
+            failures += len(drift)
+            print(format_table(drift, "Fidelity gate — drift vs golden pins"))
+        else:
+            print("Fidelity gate: all golden cells reproduce bit-exactly "
+                  "(zero drift).")
+
+    if failures:
+        print(f"\naudit FAILED: {failures} problem(s)", file=sys.stderr)
+        return 1
+    print("\naudit OK")
+    return 0
+
+
 def cmd_figure(args) -> int:
     cfg = _config(args)
     name = args.command
@@ -485,6 +562,41 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the repro.experiment/1 artifact "
                              "(rows + the spec that produced them)")
 
+    audit = sub.add_parser(
+        "audit",
+        help="run the simulation auditor: invariant sweep over the "
+             "workload/scheme matrix, differential fast-vs-reference "
+             "interpreter validation, and the golden-drift fidelity gate",
+    )
+    audit.add_argument("--machine", choices=machine_names(), default="small",
+                       help="named machine for the sweep (default: small)")
+    audit.add_argument("--workloads", nargs="+", default=None,
+                       choices=workload_names(), metavar="WORKLOAD",
+                       help="restrict the invariant sweep (default: all)")
+    audit.add_argument("--schemes", nargs="+", default=None, choices=SCHEMES,
+                       metavar="SCHEME",
+                       help="restrict the invariant sweep (default: all five)")
+    audit.add_argument("--every", type=int, default=512, metavar="N",
+                       help="invariant-sweep cadence in commits (default: 512)")
+    audit.add_argument("--golden", default=None, metavar="FILE",
+                       help="golden pin file for the differential check and "
+                            "fidelity gate (default: tests/golden_cycles.json)")
+    audit.add_argument("--diff-sample", type=int, default=2, metavar="N",
+                       help="cells whose full timing stats are also diffed "
+                            "on the reference path (default: 2)")
+    audit.add_argument("--no-diff", action="store_true",
+                       help="skip the differential interpreter validation")
+    audit.add_argument("--no-gate", action="store_true",
+                       help="skip the golden-drift fidelity gate")
+    audit.add_argument("--strict", action="store_true",
+                       help="raise on the first violation instead of "
+                            "collecting a report")
+    audit.add_argument("--inject-faults", default=None, metavar="PLAN",
+                       help="corrupt-outcome drill plan, e.g. "
+                            "'em3d//dbp=corrupt' — matched cells get a "
+                            "deliberately broken outcome tracker that the "
+                            "auditor must catch")
+
     figure_help = {
         "x1": "extension: on-chip jump-pointer table ablation",
         "x2": "extension: creation overhead + traversal-count sweep",
@@ -540,6 +652,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_trace(args)
         if args.command == "run-spec":
             return cmd_run_spec(args)
+        if args.command == "audit":
+            return cmd_audit(args)
         return cmd_figure(args)
     except SpecError as exc:
         raise SystemExit(f"error: {exc}") from None

@@ -26,13 +26,20 @@ def simulate(
     collect_miss_intervals: bool = False,
     max_steps: int | None = None,
     telemetry=None,
+    audit=None,
+    interpreter_factory=None,
 ) -> SimResult:
     """Run ``program`` on the simulated machine; returns a
     :class:`~repro.cpu.stats.SimResult`.
 
     ``telemetry`` is an optional :class:`repro.obs.Telemetry` context;
     when given, the result carries its serialized metric registry and
-    prefetch-outcome counts (``SimResult.telemetry``)."""
+    prefetch-outcome counts (``SimResult.telemetry``).  ``audit`` is an
+    optional :class:`repro.audit.Auditor` that sweeps the model's
+    conservation-law invariants every ``audit.interval`` commits;
+    ``interpreter_factory`` substitutes the functional interpreter (the
+    differential validator passes
+    :class:`repro.audit.diff.ReferenceInterpreter` here)."""
     cfg = cfg or MachineConfig()
     if isinstance(engine, str):
         engine = make_engine(engine, cfg)
@@ -43,6 +50,8 @@ def simulate(
         collect_miss_intervals=collect_miss_intervals,
         max_steps=max_steps,
         telemetry=telemetry,
+        audit=audit,
+        interpreter_factory=interpreter_factory,
     )
     return model.run()
 

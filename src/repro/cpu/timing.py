@@ -39,6 +39,23 @@ from .stats import SimResult
 
 _DISPATCH_EXTRA = 1  # cycles from dispatch to earliest issue
 
+#: ``issued_at`` is pruned down whenever it exceeds this many entries …
+_ISSUED_AT_PRUNE_THRESHOLD = 200_000
+#: … checked once every this many commits (so between checks it can grow
+#: by at most the same amount again; the audit invariant uses the sum).
+_ISSUED_AT_PRUNE_INTERVAL = 65536
+
+
+def periodic_due(n_committed: int, interval: int) -> bool:
+    """True on every ``interval``-th commit, and never at commit zero.
+
+    ``n % interval == 0`` alone is truthy at ``n == 0``, which made the
+    periodic maintenance hook fire before the first commit; every
+    every-N-commits check (the ``issued_at`` prune, the audit cadence)
+    goes through this predicate or an inline copy of it.
+    """
+    return bool(n_committed) and n_committed % interval == 0
+
 
 def heap_range(heap_base: int) -> tuple[int, int]:
     """Address range the size-class allocator can hand out."""
@@ -62,8 +79,12 @@ class TimingModel:
         max_steps: int | None = None,
         attribute_stalls: bool = False,
         telemetry=None,
+        audit=None,
+        interpreter_factory=None,
     ) -> None:
         self.attribute_stalls = attribute_stalls
+        self.auditor = audit
+        self._interpreter_factory = interpreter_factory
         self.stall_attribution: dict[tuple[str, str | None], int] = {}
         self.program = program
         self.cfg = cfg
@@ -174,7 +195,14 @@ class TimingModel:
         bpred = self.bpred
         fu_cfg = cfg.func_units
 
-        interp = Interpreter(self.program, max_steps=self._max_steps)
+        make_interp = self._interpreter_factory or Interpreter
+        interp = make_interp(self.program, max_steps=self._max_steps)
+
+        auditor = self.auditor
+        audit_every = 0
+        if auditor is not None:
+            auditor.attach(self)
+            audit_every = auditor.interval
 
         # Register scoreboard and (optional) load provenance.
         reg_ready = [0] * NUM_REGS
@@ -461,10 +489,24 @@ class TimingModel:
                         src_val[rd] = None
 
             n_committed += 1
-            if not n_committed % 65536 and len(issued_at) > 200_000:
+            # Inline periodic_due(): the n_committed guard keeps the prune
+            # (and anything hung off this cadence) from firing at commit 0.
+            if (
+                n_committed
+                and not n_committed % _ISSUED_AT_PRUNE_INTERVAL
+                and len(issued_at) > _ISSUED_AT_PRUNE_THRESHOLD
+            ):
                 floor = dispatch - 4 * window
                 issued_at = {c: k for c, k in issued_at.items() if c >= floor}
                 issued_get = issued_at.get
+            if audit_every and not n_committed % audit_every:
+                auditor.on_commit(
+                    n_committed,
+                    last_commit,
+                    rob=rob,
+                    lsq=lsq,
+                    issued_at=issued_at,
+                )
 
         # ------------------------------------------------------------------
         cycles = last_commit
@@ -472,6 +514,11 @@ class TimingModel:
         tele_dict = None
         if self.telemetry is not None:
             self.telemetry.finalize()
+        # After finalize: the end-of-run sweep sees the tracker in its
+        # terminal state, and violation counters land in the artifact dict.
+        if auditor is not None:
+            auditor.on_finish(self, n_committed, last_commit)
+        if self.telemetry is not None:
             tele_dict = self.telemetry.to_dict()
         return SimResult(
             cycles=cycles,

@@ -10,12 +10,70 @@ their own programs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Any
 
 from ..config import MachineConfig, bench_config
 from ..cpu.simulator import make_engine
 from ..cpu.timing import TimingModel
 from ..isa.program import Program
+
+
+# ----------------------------------------------------------------------
+# Guarded ratio helpers
+# ----------------------------------------------------------------------
+#
+# Sweep result tables can contain error cells (crashed or timed-out runs
+# recorded with zero cycles); derived metrics must flag those rows as NaN
+# rather than raise ZeroDivisionError halfway through assembling a figure
+# (the same rule figure5_summary applies to its memory-fraction columns).
+
+
+def safe_ratio(
+    num: int | float, den: int | float, default: float = math.nan
+) -> float:
+    """``num / den`` with non-finite or non-positive denominators mapped
+    to ``default`` (NaN unless overridden) instead of raising."""
+    if not den or den < 0 or not math.isfinite(den):
+        return default
+    return num / den
+
+
+def speedup(baseline_cycles: int | float, cycles: int | float) -> float:
+    """Baseline-relative speedup; NaN when either cycle count is unusable
+    (zero, negative, or non-finite — i.e. an error cell)."""
+    if (
+        not baseline_cycles
+        or baseline_cycles < 0
+        or not math.isfinite(baseline_cycles)
+    ):
+        return math.nan
+    return safe_ratio(baseline_cycles, cycles)
+
+
+def speedup_rows(
+    rows: list[dict[str, Any]], baseline_scheme: str = "base"
+) -> list[dict[str, Any]]:
+    """Per-benchmark speedup table from sweep result rows.
+
+    ``rows`` are dicts with at least ``benchmark``, ``scheme`` and
+    ``cycles`` keys (the sweep assembler's flat format).  Returns one row
+    per input row with ``speedup`` over the benchmark's
+    ``baseline_scheme`` cell and ``flagged=True`` when the value is NaN —
+    a zero-cycle baseline (error cell) poisons its benchmark's rows with
+    flagged NaNs rather than crashing or silently reporting inf.
+    """
+    baselines: dict[str, int | float] = {}
+    for row in rows:
+        if row.get("scheme") == baseline_scheme:
+            baselines[row["benchmark"]] = row.get("cycles", 0)
+    out: list[dict[str, Any]] = []
+    for row in rows:
+        base = baselines.get(row["benchmark"], 0)
+        s = speedup(base, row.get("cycles", 0))
+        out.append({**row, "speedup": s, "flagged": math.isnan(s)})
+    return out
 
 
 @dataclass(frozen=True)

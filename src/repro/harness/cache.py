@@ -64,6 +64,26 @@ def code_fingerprint() -> str:
     return _fingerprint_cache
 
 
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-renamed entry survives a crash.
+
+    ``os.replace`` makes the rename atomic but not durable: until the
+    parent directory's metadata reaches disk, a power cut can roll the
+    entry back even though the caller was told the write succeeded.
+    Filesystems that refuse O_RDONLY fsync on directories are skipped.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def canonical_spec(spec: "RunSpec") -> dict[str, Any]:
     """The JSON-stable identity of one cell (the hash pre-image).
 
@@ -144,7 +164,7 @@ class ResultCache:
         return result
 
     def put(self, spec: "RunSpec", result: SimResult) -> Path:
-        """Store ``result`` under ``spec``'s key (atomic rename)."""
+        """Store ``result`` under ``spec``'s key (atomic + durable rename)."""
         key = self.key(spec)
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -157,7 +177,10 @@ class ResultCache:
             with os.fdopen(fd, "w") as f:
                 json.dump(doc, f, indent=1)
                 f.write("\n")
+                f.flush()
+                os.fsync(f.fileno())
             os.replace(tmp, path)
+            _fsync_dir(path.parent)
         except BaseException:
             try:
                 os.unlink(tmp)

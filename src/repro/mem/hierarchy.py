@@ -128,6 +128,65 @@ class MemoryHierarchy:
             self._miss_hist = None
 
     # ------------------------------------------------------------------
+    # Auditing
+    # ------------------------------------------------------------------
+
+    def audit_check(self) -> list[tuple[str, str]]:
+        """Invariant sweep for :class:`repro.audit.Auditor`; returns
+        ``(invariant, message)`` pairs for every violated law.
+
+        * **cache-access-conservation** — per level, ``hits + misses ==
+          accesses`` (a double-counted or dropped lookup breaks this).
+        * **cache-capacity** — no tag array holds more lines than
+          ``sets * assoc``.
+        * **tlb-access-conservation** — per TLB, ``misses <= accesses``.
+        * **prefetch-request-accounting** — every prefetch request
+          resolves to exactly one of issued / redundant / throttled
+          (skipped under perfect data memory, which short-circuits).
+        """
+        violations: list[tuple[str, str]] = []
+        caches = [self.il1, self.dl1, self.l2]
+        if self.pb is not None:
+            caches.append(self.pb)
+        for cache in caches:
+            s = cache.stats
+            if s.hits + s.misses != s.accesses:
+                violations.append((
+                    "cache-access-conservation",
+                    f"{cache.name}: hits {s.hits} + misses {s.misses} "
+                    f"!= accesses {s.accesses}",
+                ))
+            capacity = cache.cfg.sets * cache.cfg.assoc
+            resident = cache.resident_lines()
+            if resident > capacity:
+                violations.append((
+                    "cache-capacity",
+                    f"{cache.name}: {resident} resident lines > "
+                    f"capacity {capacity}",
+                ))
+        for name, tlb in (("itlb", self.itlb), ("dtlb", self.dtlb)):
+            t = tlb.stats
+            if t.misses > t.accesses:
+                violations.append((
+                    "tlb-access-conservation",
+                    f"{name}: misses {t.misses} > accesses {t.accesses}",
+                ))
+        st = self.stats
+        if not self._perfect:
+            resolved = (
+                st.prefetches_issued
+                + st.prefetches_redundant
+                + st.prefetches_throttled
+            )
+            if resolved > st.prefetches_requested:
+                violations.append((
+                    "prefetch-request-accounting",
+                    f"{resolved} resolved prefetch requests > "
+                    f"{st.prefetches_requested} requested",
+                ))
+        return violations
+
+    # ------------------------------------------------------------------
     # Shared L2/memory path
     # ------------------------------------------------------------------
 

@@ -16,9 +16,20 @@ from __future__ import annotations
 from bisect import bisect_left
 
 
-def exponential_buckets(start: int, factor: int, count: int) -> list[int]:
-    """``count`` geometric upper bounds: start, start*factor, ..."""
-    bounds = []
+def exponential_buckets(
+    start: int | float, factor: int | float, count: int
+) -> list[int | float]:
+    """``count`` geometric upper bounds: start, start*factor, ...
+
+    Integer inputs stay exact integers; float inputs (latency ratios,
+    speedup bands) produce float bounds.
+    """
+    if start <= 0 or factor <= 1:
+        raise ValueError(
+            f"exponential buckets need start > 0 and factor > 1, "
+            f"got start={start}, factor={factor}"
+        )
+    bounds: list[int | float] = []
     b = start
     for _ in range(count):
         bounds.append(b)
@@ -26,7 +37,9 @@ def exponential_buckets(start: int, factor: int, count: int) -> list[int]:
     return bounds
 
 
-def linear_buckets(start: int, step: int, count: int) -> list[int]:
+def linear_buckets(
+    start: int | float, step: int | float, count: int
+) -> list[int | float]:
     return [start + step * i for i in range(count)]
 
 
@@ -48,13 +61,24 @@ class Counter:
 
 
 class Histogram:
-    """Fixed-bucket histogram with exact count/sum/min/max."""
+    """Fixed-bucket histogram with exact count/sum/min/max.
+
+    Bounds may be ints or floats (mixed is fine); they must be strictly
+    ascending under exact comparison — no tolerance, so ``1`` and ``1.0``
+    count as the same bound and are rejected as duplicates.
+    """
 
     __slots__ = ("name", "help", "bounds", "counts", "count", "sum", "min", "max")
 
-    def __init__(self, name: str, bounds: list[int], help: str = "") -> None:
-        if not bounds or list(bounds) != sorted(bounds):
-            raise ValueError(f"histogram {name!r} needs ascending bounds, got {bounds}")
+    def __init__(
+        self, name: str, bounds: list[int | float], help: str = ""
+    ) -> None:
+        if not bounds or any(
+            a >= b for a, b in zip(bounds, list(bounds)[1:])
+        ):
+            raise ValueError(
+                f"histogram {name!r} needs strictly ascending bounds, got {bounds}"
+            )
         self.name = name
         self.help = help
         self.bounds = list(bounds)

@@ -69,6 +69,12 @@ class OutcomeTracker:
         self.counts = _empty_counts()
         self.by_kind: dict[str, dict[str, int]] = {}
         self.by_pc: dict[int, dict[str, int]] = {}
+        # Raw event totals, kept separately from the classified counts so
+        # the audit layer can assert the conservation law: every recorded
+        # event is classified exactly once (see :meth:`audit_check`).
+        self.issued = 0
+        self.dropped = 0
+        self.finalized = False
         # line -> (kind, pc, issue_time, fill_time)
         self._outstanding: dict[int, tuple[str, int | None, int, int]] = {}
         if registry is not None:
@@ -100,6 +106,7 @@ class OutcomeTracker:
         self, line: int, kind: str, pc: int | None, issue: int, fill: int
     ) -> None:
         """An actual (non-redundant) prefetch of ``line`` was issued."""
+        self.issued += 1
         old = self._outstanding.get(line)
         if old is not None:
             # Superseded before use: the earlier fetch of this line did
@@ -109,6 +116,7 @@ class OutcomeTracker:
 
     def record_drop(self, kind: str, pc: int | None) -> None:
         """A prefetch request was rejected at the full PRQ."""
+        self.dropped += 1
         self._count(DROPPED, kind, pc)
 
     def on_demand(self, line: int, time: int) -> str | None:
@@ -136,6 +144,47 @@ class OutcomeTracker:
         for kind, pc, __, ___ in self._outstanding.values():
             self._count(USELESS, kind, pc)
         self._outstanding.clear()
+        self.finalized = True
+
+    # -- auditing ---------------------------------------------------------
+
+    def audit_check(self) -> list[tuple[str, str]]:
+        """Invariant sweep for :class:`repro.audit.Auditor`.
+
+        Returns ``(invariant, message)`` pairs for every violated law:
+
+        * **outcome-conservation** — every issued or dropped prefetch is
+          classified exactly once; mid-run the difference is exactly the
+          still-outstanding set, after :meth:`finalize` it is zero.
+        * **outcome-nonnegative** — no classified count ever decreases
+          below zero (a double-pop would show up here).
+        """
+        violations: list[tuple[str, str]] = []
+        classified = self.total
+        outstanding = len(self._outstanding)
+        if self.issued + self.dropped != classified + outstanding:
+            violations.append((
+                "outcome-conservation",
+                f"{self.issued} issued + {self.dropped} dropped != "
+                f"{classified} classified + {outstanding} outstanding",
+            ))
+        if self.counts[DROPPED] != self.dropped:
+            violations.append((
+                "outcome-conservation",
+                f"dropped count {self.counts[DROPPED]} != "
+                f"{self.dropped} recorded drops",
+            ))
+        for outcome, n in self.counts.items():
+            if n < 0:
+                violations.append((
+                    "outcome-nonnegative", f"{outcome} count is {n}"
+                ))
+        if self.finalized and outstanding:
+            violations.append((
+                "outcome-conservation",
+                f"{outstanding} prefetches still outstanding after finalize",
+            ))
+        return violations
 
     # -- reporting ------------------------------------------------------
 
@@ -146,6 +195,8 @@ class OutcomeTracker:
     def to_dict(self) -> dict:
         return {
             "counts": dict(self.counts),
+            "issued": self.issued,
+            "dropped": self.dropped,
             "by_kind": {k: dict(v) for k, v in sorted(self.by_kind.items())},
             "by_pc": {str(pc): dict(v) for pc, v in sorted(self.by_pc.items())},
         }

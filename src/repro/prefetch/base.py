@@ -147,6 +147,23 @@ class PrefetchEngine:
         return done if done is not None else t
 
     # ------------------------------------------------------------------
+    # Auditing
+    # ------------------------------------------------------------------
+
+    def audit_check(self, now: int) -> list[tuple[str, str]]:
+        """Invariant sweep for :class:`repro.audit.Auditor`; subclasses
+        extend with their own structure bounds.  Returns
+        ``(invariant, message)`` pairs for every violated law."""
+        violations: list[tuple[str, str]] = []
+        if len(self._prq) > self.pcfg.prq_entries:
+            violations.append((
+                "prq-occupancy",
+                f"{len(self._prq)} PRQ entries > "
+                f"capacity {self.pcfg.prq_entries}",
+            ))
+        return violations
+
+    # ------------------------------------------------------------------
     # Hooks (no-ops in the baseline)
     # ------------------------------------------------------------------
 

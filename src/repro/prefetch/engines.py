@@ -57,6 +57,20 @@ class DBPEngine(PrefetchEngine):
     #: chased again — models the predictor declining to re-launch an
     #: already-outstanding unroll.
     RECHASE_WINDOW = 400
+    #: Hard size bound on the re-chase table.  Eviction is windowed: once
+    #: per elapsed window (or whenever the table overflows this bound)
+    #: every entry too old to ever suppress again is dropped.  Trigger
+    #: times are not monotone — chained fill times run up to
+    #: ``max_chain_depth`` memory latencies ahead of the commit-time
+    #: triggers, and completion times within the instruction window skew
+    #: backwards — so aging is measured against a monotone high-water
+    #: clock with a slack covering the machine's worst-case completion
+    #: span (see :meth:`attach`); suppression only looks back one window,
+    #: so entries beyond ``slack`` can never change a suppression
+    #: decision and pruning is cycle-exact.
+    RECHASE_TABLE_MAX = 65536
+    #: Don't bother rebuilding tiny tables on the window cadence.
+    RECHASE_PRUNE_MIN = 4096
     #: Prefetches one trigger event (a completed load or a jump-pointer
     #: prefetch) may spawn.  Models the pacing imposed by the 8-entry PRQ
     #: and the predictor's 2 queries/cycle: the speculative unroll proceeds
@@ -68,7 +82,23 @@ class DBPEngine(PrefetchEngine):
         self.predictor = DependencePredictor(self.pcfg)
         self.recurrent_pcs: set[int] = set()
         self._recent_chase: dict[tuple[int, int], int] = {}
+        self._chase_tmax = 0  # monotone high-water mark of trigger times
+        self._chase_pruned_at = 0
+        self._chase_slack = 4 * self.RECHASE_WINDOW  # refined at attach()
         self._budget = 0
+
+    def attach(self, *args, **kwargs) -> None:
+        super().attach(*args, **kwargs)
+        # Worst-case gap between the high-water trigger time and any later
+        # trigger: in-flight completion times span at most the instruction
+        # window's dependent-miss chain, plus the chained-prefetch unroll
+        # runs max_chain_depth fills further ahead.  Per-hop cost is one
+        # full memory access with generous queueing margin.
+        cfg = self.cfg
+        hop = cfg.memory_latency + cfg.l2.latency + 64
+        self._chase_slack = self.RECHASE_WINDOW + hop * (
+            cfg.window + self.pcfg.max_chain_depth
+        )
 
     # -- learning ------------------------------------------------------
 
@@ -121,11 +151,17 @@ class DBPEngine(PrefetchEngine):
             if seen is not None and time - seen < self.RECHASE_WINDOW:
                 continue
             recent[key] = time
-            if len(recent) > 65536:
-                cutoff = time - self.RECHASE_WINDOW
+            if time > self._chase_tmax:
+                self._chase_tmax = time
+            if (
+                self._chase_tmax - self._chase_pruned_at >= self.RECHASE_WINDOW
+                and len(recent) > self.RECHASE_PRUNE_MIN
+            ) or len(recent) > self.RECHASE_TABLE_MAX:
+                cutoff = self._chase_tmax - self._chase_slack
                 self._recent_chase = recent = {
                     k: t for k, t in recent.items() if t >= cutoff
                 }
+                self._chase_pruned_at = self._chase_tmax
             self._budget -= 1
             done = self.request(addr, time, pc=consumer_pc)
             if done is None:
@@ -133,6 +169,25 @@ class DBPEngine(PrefetchEngine):
             nxt = self.timing_mem.peek(addr)
             if isinstance(nxt, int) and nxt:
                 self._chase(consumer_pc, nxt, done, depth - 1)
+
+    # -- auditing --------------------------------------------------------
+
+    def audit_check(self, now: int) -> list[tuple[str, str]]:
+        violations = super().audit_check(now)
+        # Windowed eviction keeps everything younger than 4 windows, so a
+        # burst may briefly overshoot RECHASE_TABLE_MAX; 2x is the point
+        # where bookkeeping has genuinely stopped being bounded.
+        if len(self._recent_chase) > 2 * self.RECHASE_TABLE_MAX:
+            violations.append((
+                "rechase-table-bound",
+                f"{len(self._recent_chase)} re-chase entries > "
+                f"bound {2 * self.RECHASE_TABLE_MAX}",
+            ))
+        if self._budget < 0:
+            violations.append((
+                "chase-budget-nonnegative", f"chase budget is {self._budget}"
+            ))
+        return violations
 
     # -- hooks -----------------------------------------------------------
 
@@ -282,6 +337,40 @@ class HardwareJPPEngine(DBPEngine):
             # hit: the home node was referenced I hops ago; cold homes
             # write around without allocating).
             self.hierarchy.jp_store(slot, time)
+
+    def audit_check(self, now: int) -> list[tuple[str, str]]:
+        violations = super().audit_check(now)
+        jqt = self.jqt
+        if len(jqt._queues) > self.pcfg.jqt_entries:
+            violations.append((
+                "jqt-occupancy",
+                f"{len(jqt._queues)} JQT entries > "
+                f"capacity {self.pcfg.jqt_entries}",
+            ))
+        depth_limit = getattr(jqt, "max_interval", jqt.interval)
+        for pc, (q, __) in jqt._queues.items():
+            if len(q) > depth_limit:
+                violations.append((
+                    "jump-queue-depth",
+                    f"pc {pc}: queue depth {len(q)} > "
+                    f"interval limit {depth_limit}",
+                ))
+        if (
+            self.storage.onchip
+            and len(self.storage._table) > self.pcfg.onchip_table_entries
+        ):
+            violations.append((
+                "onchip-storage-capacity",
+                f"{len(self.storage._table)} on-chip jump-pointers > "
+                f"capacity {self.pcfg.onchip_table_entries}",
+            ))
+        if len(self._jump_outstanding) > 4096:
+            violations.append((
+                "jump-outstanding-bound",
+                f"{len(self._jump_outstanding)} outstanding jump "
+                f"prefetches > bound 4096",
+            ))
+        return violations
 
 
 def _engine_classes() -> dict[str, type[PrefetchEngine]]:

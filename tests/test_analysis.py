@@ -48,3 +48,67 @@ def test_format_and_top(cfg):
     text = rep.format(5)
     assert "cycles" in text and "share" in text
     assert isinstance(rep, StallReport)
+
+
+# ----------------------------------------------------------------------
+# Guarded ratio helpers: error cells must flag, not crash
+# ----------------------------------------------------------------------
+
+import math
+
+from repro.harness import safe_ratio, speedup, speedup_rows
+
+
+class TestSafeRatio:
+    def test_normal_division(self):
+        assert safe_ratio(10, 4) == 2.5
+
+    def test_zero_denominator_is_nan_not_raise(self):
+        assert math.isnan(safe_ratio(10, 0))
+
+    def test_negative_and_nonfinite_denominators(self):
+        assert math.isnan(safe_ratio(10, -5))
+        assert math.isnan(safe_ratio(10, math.nan))
+        assert math.isnan(safe_ratio(10, math.inf))
+
+    def test_default_override(self):
+        assert safe_ratio(10, 0, default=0.0) == 0.0
+
+
+class TestSpeedup:
+    def test_normal(self):
+        assert speedup(200, 100) == 2.0
+
+    def test_zero_cycle_run_is_nan(self):
+        assert math.isnan(speedup(200, 0))
+
+    def test_zero_cycle_baseline_is_nan(self):
+        # A 0-cycle baseline is an error cell, not an infinitely-fast run.
+        assert math.isnan(speedup(0, 100))
+        assert math.isnan(speedup(0, 0))
+        assert math.isnan(speedup(math.nan, 100))
+
+
+class TestSpeedupRows:
+    def test_zero_cycle_baseline_poisons_only_its_benchmark(self):
+        rows = [
+            {"benchmark": "a", "scheme": "base", "cycles": 0},      # error cell
+            {"benchmark": "a", "scheme": "hardware", "cycles": 80},
+            {"benchmark": "b", "scheme": "base", "cycles": 100},
+            {"benchmark": "b", "scheme": "hardware", "cycles": 50},
+        ]
+        out = speedup_rows(rows)
+        by = {(r["benchmark"], r["scheme"]): r for r in out}
+        assert by[("a", "hardware")]["flagged"]
+        assert math.isnan(by[("a", "hardware")]["speedup"])
+        assert by[("b", "hardware")]["speedup"] == 2.0
+        assert not by[("b", "hardware")]["flagged"]
+
+    def test_missing_baseline_flags(self):
+        out = speedup_rows([{"benchmark": "x", "scheme": "dbp", "cycles": 10}])
+        assert out[0]["flagged"]
+
+    def test_input_rows_not_mutated(self):
+        rows = [{"benchmark": "b", "scheme": "base", "cycles": 100}]
+        speedup_rows(rows)
+        assert "speedup" not in rows[0]

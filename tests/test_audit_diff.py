@@ -1,0 +1,165 @@
+"""Differential validation: the reference interpreter must track the
+decode-table fast path bit-for-bit, and the diff machinery must localize
+any disagreement."""
+
+import pytest
+
+from repro import Assembler, simulate
+from repro.audit import (
+    ReferenceInterpreter,
+    diff_commit_streams,
+    diff_results,
+    reference_simulate,
+)
+from repro.audit import diff as diff_mod
+from repro.isa.interpreter import Interpreter
+from repro.isa.opcodes import Op
+from repro.isa.registers import T0, T1, T2
+from repro.workloads import get_workload, workload_class
+
+from tests.conftest import assemble_list_walk, assemble_loop_sum
+
+
+def _drain(program, cls):
+    interp = cls(program)
+    records = [
+        (inst.index, addr, value, taken)
+        for inst, addr, value, taken in interp.run()
+    ]
+    return interp, records
+
+
+class TestReferenceInterpreter:
+    @pytest.mark.parametrize("builder, arg", [
+        (assemble_list_walk, 64),
+        (assemble_loop_sum, 200),
+    ])
+    def test_streams_match_fast_path(self, builder, arg):
+        program, __ = builder(arg)
+        fast, fast_records = _drain(program, Interpreter)
+        ref, ref_records = _drain(program, ReferenceInterpreter)
+        assert fast_records == ref_records
+        assert fast.registers == ref.registers
+        assert fast.steps == ref.steps
+        assert fast.memory._words == ref.memory._words
+
+    def test_quirky_integer_semantics_match(self):
+        # DIV/REM truncate toward zero and SLTU compares magnitudes —
+        # the reference restates these independently; both must agree.
+        a = Assembler()
+        out = a.space(8)
+        a.label("main")
+        a.li(T0, -7)
+        a.li(T1, 2)
+        a.div(T2, T0, T1)       # -3, not -4
+        a.sw(T2, 0, out)
+        a.rem(T2, T0, T1)       # -1
+        a.sw(T2, 0, out + 4)
+        a._rr(Op.SLTU, T2, T0, T1)  # |-7| < |2| is false (no sugar for SLTU)
+        a.sw(T2, 0, out + 8)
+        a.halt()
+        program = a.assemble()
+        assert diff_commit_streams(program) is None
+        ref = ReferenceInterpreter(program)
+        for __ in ref.run():
+            pass
+        assert ref.memory._words[out] == -3
+        assert ref.memory._words[out + 4] == -1
+        assert ref.memory._words[out + 8] == 0
+
+    def test_max_steps_budget_respected(self):
+        a = Assembler()
+        a.label("main")
+        a.label("spin")
+        a.j("spin")
+        a.halt()  # unreachable; assembler requires one
+        program = a.assemble()
+        from repro.errors import ExecutionError
+        ref = ReferenceInterpreter(program, max_steps=100)
+        with pytest.raises(ExecutionError, match="budget"):
+            for __ in ref.run():
+                pass
+        assert ref.steps == 100
+
+
+class TestDiffCommitStreams:
+    def test_workload_programs_are_identical(self):
+        # Two cheap real workloads, baseline + an annotated variant each.
+        for name, variant in (
+            ("treeadd", "baseline"), ("treeadd", "sw:queue"),
+            ("mst", "baseline"), ("mst", "sw:root"),
+        ):
+            w = get_workload(name, **workload_class(name).test_params())
+            program = w.build(variant).program
+            assert diff_commit_streams(program) is None, f"{name}/{variant}"
+
+    def test_reports_first_divergent_field(self, monkeypatch):
+        class LyingInterpreter(ReferenceInterpreter):
+            """Mis-executes the 3rd dynamic instruction's value field."""
+
+            def run(self):
+                for i, rec in enumerate(super().run()):
+                    if i == 2:
+                        inst, addr, value, taken = rec
+                        rec = (inst, addr, value + 1, taken)
+                    yield rec
+
+        monkeypatch.setattr(diff_mod, "ReferenceInterpreter", LyingInterpreter)
+        program, __ = assemble_loop_sum(10)
+        d = diff_commit_streams(program)
+        assert d is not None
+        assert d.index == 2 and d.where == "value"
+        assert d.ref == d.fast + 1
+        assert "dynamic instruction 2" in d.describe()
+
+    def test_reports_early_stream_end(self, monkeypatch):
+        class TruncatingInterpreter(ReferenceInterpreter):
+            def run(self):
+                for i, rec in enumerate(super().run()):
+                    if i == 5:
+                        return
+                    yield rec
+
+        monkeypatch.setattr(diff_mod, "ReferenceInterpreter",
+                            TruncatingInterpreter)
+        program, __ = assemble_loop_sum(10)
+        d = diff_commit_streams(program)
+        assert d.index == 5 and d.where == "length"
+        assert (d.fast, d.ref) == ("running", "ended")
+
+
+class TestDiffResults:
+    def test_identical_results_diff_empty(self, tiny_cfg):
+        program, __ = assemble_list_walk(48)
+        a = simulate(program, tiny_cfg, engine="dbp")
+        b = simulate(program, tiny_cfg, engine="dbp")
+        assert diff_results(a, b) == []
+
+    def test_nested_and_one_sided_fields(self):
+        a = {"cycles": 10, "mem": {"hits": 5, "misses": 1}, "only_a": 1}
+        b = {"cycles": 12, "mem": {"hits": 5, "misses": 2}}
+        diffs = {d.path: (d.a, d.b) for d in diff_results(a, b)}
+        assert diffs == {
+            "cycles": (10, 12),
+            "mem.misses": (1, 2),
+            "only_a": (1, None),
+        }
+
+    def test_ignore_prefixes(self):
+        a = {"cycles": 10, "telemetry": {"x": 1}}
+        b = {"cycles": 10, "telemetry": {"x": 2}}
+        assert diff_results(a, b, ignore=("telemetry",)) == []
+
+    def test_list_length_changes_are_visible(self):
+        diffs = diff_results({"xs": [1, 2]}, {"xs": [1]})
+        paths = {d.path for d in diffs}
+        assert "xs.len" in paths and "xs[1]" in paths
+
+
+class TestReferenceSimulate:
+    def test_timing_stats_match_fast_path(self, tiny_cfg):
+        program, __ = assemble_list_walk(64)
+        fast = simulate(program, tiny_cfg, engine="dbp")
+        ref = reference_simulate(program, tiny_cfg, engine="dbp")
+        assert diff_results(fast, ref) == []
+        assert ref.cycles == fast.cycles

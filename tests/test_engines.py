@@ -206,3 +206,76 @@ class TestEngineFactory:
 
         with pytest.raises(ConfigError):
             make_engine("magic", tiny_cfg)
+
+
+class TestRechaseTableBound:
+    """The DBP duplicate-suppression table must stay bounded (it used to
+    grow one entry per distinct (consumer, line) forever)."""
+
+    def _attached_dbp(self, tiny_cfg, n=64):
+        program, __ = assemble_list_walk(n)
+        engine = make_engine("dbp", tiny_cfg)
+        simulate(program, tiny_cfg, engine=engine)
+        return engine
+
+    def _trigger_at(self, engine, time):
+        """Run one chase step at ``time`` through the public trigger
+        path, with the predictor stubbed to one consumer."""
+        engine.predictor.lookup = lambda pc: [(9999, 0)]
+        engine._trigger(1234, engine._heap_lo, time)
+
+    def test_slack_derived_from_machine(self, tiny_cfg):
+        engine = self._attached_dbp(tiny_cfg)
+        # attach() must widen the slack beyond the dedup window itself:
+        # chained fills run ahead of commit-time triggers.
+        assert engine._chase_slack > engine.RECHASE_WINDOW
+
+    def test_stale_entries_are_pruned(self, tiny_cfg):
+        engine = self._attached_dbp(tiny_cfg)
+        recent = engine._recent_chase
+        recent.clear()
+        # Stuff more-than-prune-min entries far in the past...
+        for i in range(engine.RECHASE_PRUNE_MIN + 10):
+            recent[(1, 64 * i)] = 100
+        engine._chase_tmax = 100
+        engine._chase_pruned_at = 100
+        # ...then one trigger far in the future runs the eviction.
+        self._trigger_at(engine, 100 + engine._chase_slack
+                         + engine.RECHASE_WINDOW + 1)
+        stale = [t for t in engine._recent_chase.values() if t == 100]
+        assert not stale
+        assert len(engine._recent_chase) < engine.RECHASE_PRUNE_MIN
+        assert engine._chase_pruned_at == engine._chase_tmax
+
+    def test_recent_entries_survive_pruning(self, tiny_cfg):
+        engine = self._attached_dbp(tiny_cfg)
+        recent = engine._recent_chase
+        recent.clear()
+        fresh = 10_000
+        for i in range(engine.RECHASE_PRUNE_MIN + 10):
+            recent[(1, 64 * i)] = fresh  # within slack of the new trigger
+        engine._chase_tmax = fresh
+        engine._chase_pruned_at = 0
+        self._trigger_at(engine, fresh + engine.RECHASE_WINDOW)
+        survivors = [t for t in engine._recent_chase.values() if t == fresh]
+        assert len(survivors) == engine.RECHASE_PRUNE_MIN + 10
+
+    def test_hard_cap_prunes_even_inside_window(self, tiny_cfg):
+        engine = self._attached_dbp(tiny_cfg)
+        recent = engine._recent_chase
+        recent.clear()
+        now = 50_000_000
+        engine._chase_tmax = now
+        engine._chase_pruned_at = now  # dedup window not yet elapsed
+        for i in range(engine.RECHASE_TABLE_MAX + 1):
+            recent[(1, 64 * i)] = now - engine._chase_slack - 1  # all stale
+        self._trigger_at(engine, now)
+        assert len(engine._recent_chase) < engine.RECHASE_PRUNE_MIN
+
+    def test_audit_check_flags_runaway_table(self, tiny_cfg):
+        engine = self._attached_dbp(tiny_cfg)
+        assert engine.audit_check(0) == []
+        for i in range(2 * engine.RECHASE_TABLE_MAX + 1):
+            engine._recent_chase[(1, 64 * i)] = 0
+        violations = engine.audit_check(0)
+        assert any(inv == "rechase-table-bound" for inv, __ in violations)

@@ -490,3 +490,86 @@ class TestMixedFaultAcceptance:
         assert stats["timeouts"] >= 1
         assert stats["retries"] >= 3
         assert stats["faults_injected"] >= 3
+
+
+# ----------------------------------------------------------------------
+# Cache durability: the atomic rename must also be durable
+# ----------------------------------------------------------------------
+
+class TestCacheDurability:
+    """``ResultCache.put`` must fsync the data file before the rename and
+    the parent directory after it — otherwise a crash right after put()
+    returns can roll the entry back (or leave a torn file) even though
+    the caller was told the write succeeded."""
+
+    def _spec_and_result(self, cfg):
+        from repro.cpu.simulator import simulate
+        from repro.harness import RunSpec
+        from repro.workloads import get_workload
+
+        w = get_workload("treeadd", **SMALL["treeadd"])
+        spec = RunSpec.make("treeadd", "baseline", "none", cfg, SMALL["treeadd"])
+        result = simulate(w.build("baseline").program, cfg, engine="none")
+        return spec, result
+
+    def test_put_fsyncs_file_then_directory(self, cfg, tmp_path, monkeypatch):
+        import os as os_mod
+
+        from repro.harness import ResultCache
+
+        synced = []
+        real_fsync = os_mod.fsync
+
+        def recording_fsync(fd):
+            st = os_mod.fstat(fd)
+            import stat as stat_mod
+            synced.append("dir" if stat_mod.S_ISDIR(st.st_mode) else "file")
+            return real_fsync(fd)
+
+        monkeypatch.setattr("repro.harness.cache.os.fsync", recording_fsync)
+        cache = ResultCache(tmp_path / "cache", registry=MetricRegistry())
+        spec, result = self._spec_and_result(cfg)
+        path = cache.put(spec, result)
+        assert path.exists()
+        assert "file" in synced and "dir" in synced
+        assert synced.index("file") < synced.index("dir")
+        # and the entry reads back verbatim
+        assert cache.get(spec) is not None
+
+    def test_put_survives_unfsyncable_directory(self, cfg, tmp_path,
+                                                monkeypatch):
+        # Filesystems that refuse directory fsync must not break put().
+        import errno
+        import os as os_mod
+        import stat as stat_mod
+
+        from repro.harness import ResultCache
+
+        real_fsync = os_mod.fsync
+
+        def picky_fsync(fd):
+            if stat_mod.S_ISDIR(os_mod.fstat(fd).st_mode):
+                raise OSError(errno.EINVAL, "directory fsync unsupported")
+            return real_fsync(fd)
+
+        monkeypatch.setattr("repro.harness.cache.os.fsync", picky_fsync)
+        cache = ResultCache(tmp_path / "cache", registry=MetricRegistry())
+        spec, result = self._spec_and_result(cfg)
+        assert cache.put(spec, result).exists()
+        assert cache.get(spec) is not None
+
+    def test_failed_write_leaves_no_temp_file(self, cfg, tmp_path,
+                                              monkeypatch):
+        from repro.harness import ResultCache
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.harness.cache.os.replace", boom)
+        cache = ResultCache(tmp_path / "cache", registry=MetricRegistry())
+        spec, result = self._spec_and_result(cfg)
+        with pytest.raises(OSError):
+            cache.put(spec, result)
+        leftovers = [p for p in (tmp_path / "cache").rglob("*")
+                     if p.is_file()]
+        assert leftovers == []  # tmp file cleaned up, nothing torn

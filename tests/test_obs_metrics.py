@@ -110,3 +110,58 @@ class TestRegistry:
         d = reg.to_dict()
         assert d["b"]["value"] == 2
         assert d["a"]["type"] == "histogram"
+
+
+class TestFloatBounds:
+    def test_float_buckets_observe_and_bucket(self):
+        h = Histogram("h", [0.5, 1.0, 2.5])
+        h.observe(0.5)
+        h.observe(1.7)
+        h.observe(3.0)
+        assert h.counts == [1, 0, 1, 1]
+        assert h.bucket_of(0.75) == 1
+
+    def test_mixed_int_float_bounds(self):
+        h = Histogram("h", [1, 2.5, 10])
+        h.observe(2.5)
+        assert h.counts == [0, 1, 0, 0]
+        assert h.sum == 2.5 and h.mean == 2.5
+
+    def test_exact_duplicate_across_types_rejected(self):
+        # 1 and 1.0 compare equal: not strictly ascending.
+        with pytest.raises(ValueError):
+            Histogram("h", [1, 1.0, 2])
+
+    def test_equal_adjacent_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [0.5, 0.5])
+
+    def test_exponential_float_buckets(self):
+        assert exponential_buckets(0.5, 2.0, 3) == [0.5, 1.0, 2.0]
+
+    def test_exponential_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError):
+            exponential_buckets(0, 2, 3)      # start must be positive
+        with pytest.raises(ValueError):
+            exponential_buckets(-1.0, 2, 3)
+        with pytest.raises(ValueError):
+            exponential_buckets(1, 1, 3)      # factor must grow
+        with pytest.raises(ValueError):
+            exponential_buckets(1, 0.5, 3)
+
+    def test_exponential_integer_inputs_stay_exact_ints(self):
+        bounds = exponential_buckets(1, 2, 40)
+        assert all(isinstance(b, int) for b in bounds)
+        assert bounds[-1] == 2 ** 39  # no float precision loss
+
+    def test_serde_round_trip_with_float_bounds(self):
+        import json
+
+        h = Histogram("lat", [0.5, 1.0, 2.0])
+        for v in (0.25, 0.75, 5.0):
+            h.observe(v)
+        d = json.loads(json.dumps(h.to_dict()))
+        assert d["count"] == 3 and d["sum"] == 6.0
+        assert d["min"] == 0.25 and d["max"] == 5.0
+        assert [b["le"] for b in d["buckets"]] == [0.5, 1.0, 2.0, None]
+        assert [b["count"] for b in d["buckets"]] == [1, 1, 0, 1]

@@ -90,8 +90,9 @@ class TestOutcomeTracker:
         t = OutcomeTracker()
         t.record_drop("jump", 4)
         d = t.to_dict()
-        assert set(d) == {"counts", "by_kind", "by_pc"}
+        assert set(d) == {"counts", "issued", "dropped", "by_kind", "by_pc"}
         assert set(d["counts"]) == set(OUTCOMES)
+        assert d["dropped"] == 1 and d["issued"] == 0
         assert d["by_pc"]["4"][DROPPED] == 1  # JSON-safe string keys
 
 

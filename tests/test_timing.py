@@ -217,3 +217,45 @@ def test_heap_range_covers_allocator():
     lo, hi = heap_range(HEAP_BASE)
     assert lo == HEAP_BASE
     assert hi > HEAP_BASE + (1 << 24)
+
+
+class TestPeriodicDue:
+    """Regression for the truthy-at-zero pruning predicate: periodic
+    maintenance must never fire at commit zero (``0 % n == 0`` is truthy
+    as a modulus test but commit 0 has nothing to prune or audit)."""
+
+    def test_never_due_at_zero(self):
+        from repro.cpu.timing import periodic_due
+
+        assert not periodic_due(0, 64)
+        assert not periodic_due(0, 1)
+
+    def test_due_exactly_on_multiples(self):
+        from repro.cpu.timing import periodic_due
+
+        assert periodic_due(64, 64)
+        assert periodic_due(128, 64)
+        assert not periodic_due(63, 64)
+        assert not periodic_due(65, 64)
+
+    def test_interval_one_fires_every_commit_after_zero(self):
+        from repro.cpu.timing import periodic_due
+
+        assert [n for n in range(5) if periodic_due(n, 1)] == [1, 2, 3, 4]
+
+    def test_issued_at_bookkeeping_stays_bounded(self, tiny_cfg):
+        # End-to-end: a long run must not accumulate an issue-slot entry
+        # per dynamic instruction (the map is pruned behind the window).
+        from repro.cpu.timing import (
+            _ISSUED_AT_PRUNE_INTERVAL,
+            _ISSUED_AT_PRUNE_THRESHOLD,
+        )
+
+        assert _ISSUED_AT_PRUNE_THRESHOLD + _ISSUED_AT_PRUNE_INTERVAL > 0
+        program, __ = assemble_loop_sum(200)
+        from repro import simulate
+        from repro.audit import Auditor
+
+        auditor = Auditor(interval=256, strict=True)
+        simulate(program, tiny_cfg, audit=auditor)
+        assert auditor.ok  # includes the issued-at-bound invariant
