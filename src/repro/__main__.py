@@ -20,18 +20,32 @@ Examples::
     python -m repro trace health --small -o health.trace.json
     python -m repro audit --machine small        # full simulation audit
     python -m repro audit --inject-faults 'em3d//dbp=corrupt'  # auditor drill
+    python -m repro profile health --scheme hardware   # CPI stack + hot sites
+    python -m repro profile em3d --small -o em3d.profile.json --trace em3d.trace.json
+    python -m repro bench-diff BENCH_PR2.json BENCH_PR6.json
+    python -m repro bench-diff BENCH_PR2.json --regen --tolerance 1.5
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import subprocess
 import sys
+import tempfile
 from dataclasses import replace
 from pathlib import Path
 
 from . import bench_config, table2_config, workload_names
-from .audit import audit_workloads, differential_check, fidelity_gate
+from .audit import (
+    Auditor,
+    audit_workloads,
+    compare_benchmarks,
+    differential_check,
+    fidelity_gate,
+    regressions,
+)
 from .audit.gate import DEFAULT_GOLDEN
 from .config import get_machine, machine_names
 from .errors import ConfigError
@@ -58,7 +72,17 @@ from .harness import (
     table1,
     traversal_count_sweep,
 )
-from .obs import EventTrace, MetricRegistry, Telemetry, artifact, dump_json
+from .obs import (
+    EventTrace,
+    MetricRegistry,
+    Profiler,
+    Telemetry,
+    artifact,
+    cpi_stack_rows,
+    dump_json,
+    hot_site_rows,
+    latency_rows,
+)
 from .prefetch.engines import ENGINES
 from .workloads import workload_class
 
@@ -442,6 +466,140 @@ def cmd_audit(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Run one scheme under the cycle-attribution profiler: CPI stack,
+    ranked hot load sites, per-level latency — conservation audited."""
+    cfg = _config(args)
+    runner = BenchmarkRunner(args.workload, cfg, _workload_params(args))
+    trace = EventTrace(limit=args.limit) if args.trace else None
+    profiler = Profiler()
+    auditor = Auditor(interval=args.every)
+    run = runner.run(
+        args.scheme,
+        args.idiom,
+        telemetry=Telemetry(trace=trace) if trace is not None else Telemetry(),
+        profile=profiler,
+        audit=auditor,
+    )
+    profile = run.result.profile
+
+    print(format_table(
+        cpi_stack_rows(profile),
+        f"{args.workload}/{run.scheme} — CPI stack over {run.total} cycles",
+    ))
+    hot = hot_site_rows(profile, top=args.top)
+    print()
+    if hot:
+        print(format_table(hot, f"Hot load sites (top {args.top} by stall cycles)"))
+    else:
+        print("Hot load sites: none (no linked-data loads stalled commit).")
+    lat = latency_rows(profile)
+    if lat:
+        print()
+        print(format_table(lat, "Load latency by hierarchy level (cycles)"))
+
+    if args.trace:
+        trace.dump(args.trace)
+        print(f"\nwrote {args.trace}: {len(trace)} events "
+              f"({trace.dropped} dropped past --limit); open in chrome://tracing")
+    if args.output:
+        doc = artifact(
+            "profile",
+            {
+                "benchmark": args.workload,
+                "scheme": run.scheme,
+                "variant": run.variant,
+                "total": run.total,
+                "compute": run.compute,
+                "memory": run.memory,
+                "profile": profile,
+            },
+            meta=_run_meta(args),
+        )
+        dump_json(doc, args.output)
+        print(f"wrote {args.output}")
+
+    if not auditor.ok:
+        for v in auditor.violations[:8]:
+            print(f"  VIOLATION: {v.describe()}", file=sys.stderr)
+        print(f"\nprofile audit FAILED: {auditor.violation_count} "
+              f"violation(s)", file=sys.stderr)
+        return 1
+    print(f"\nprofile audit OK: {auditor.checks} sweeps, CPI-stack buckets "
+          f"sum to {run.total} cycles")
+    return 0
+
+
+def _bench_regen(quick: bool) -> dict:
+    """Re-run ``benchmarks/perf_baseline.py`` and load its report."""
+    script = Path(__file__).resolve().parents[2] / "benchmarks" / "perf_baseline.py"
+    if not script.exists():
+        raise SystemExit(f"error: {script} not found (run from a source checkout)")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-diff-") as tmp:
+        out = Path(tmp) / "bench.json"
+        cmd = [sys.executable, str(script), "-o", str(out)]
+        if quick:
+            cmd.append("--quick")
+        print(f"  regenerating: {' '.join(cmd[1:])}", file=sys.stderr)
+        proc = subprocess.run(cmd, cwd=script.parent.parent)
+        if proc.returncode:
+            raise SystemExit(f"error: perf_baseline.py exited {proc.returncode}")
+        with open(out) as f:
+            return json.load(f)
+
+
+def cmd_bench_diff(args) -> int:
+    """Signed per-metric drift between two perf-baseline reports."""
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {args.baseline}: {exc}") from None
+    if args.regen:
+        current = _bench_regen(args.quick)
+        current_name = "(regenerated)"
+    elif args.current:
+        try:
+            with open(args.current) as f:
+                current = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(
+                f"error: cannot read {args.current}: {exc}"
+            ) from None
+        current_name = args.current
+    else:
+        raise SystemExit("error: bench-diff needs CURRENT or --regen")
+
+    rows = compare_benchmarks(baseline, current, tolerance=args.tolerance)
+    print(format_table(
+        rows, f"bench-diff — {args.baseline} vs {current_name}"
+    ))
+    bad = regressions(rows)
+    if args.output:
+        doc = artifact(
+            "bench_diff",
+            {
+                "baseline": str(args.baseline),
+                "current": current_name,
+                "tolerance": args.tolerance,
+                "rows": rows,
+                "regressions": len(bad),
+            },
+        )
+        dump_json(doc, args.output)
+        print(f"wrote {args.output}")
+    if bad:
+        for row in bad:
+            print(f"  REGRESSION: {row['metric']} ({row['mode']} {row['band']}): "
+                  f"{row['baseline']} -> {row['current']}", file=sys.stderr)
+        print(f"\nbench-diff FAILED: {len(bad)} regression(s) "
+              f"(tolerance {args.tolerance})", file=sys.stderr)
+        return 1
+    print(f"\nbench-diff OK: {len(rows)} metrics within tolerance "
+          f"{args.tolerance}")
+    return 0
+
+
 def cmd_figure(args) -> int:
     cfg = _config(args)
     name = args.command
@@ -597,6 +755,56 @@ def build_parser() -> argparse.ArgumentParser:
                             "deliberately broken outcome tracker that the "
                             "auditor must catch")
 
+    prof = sub.add_parser(
+        "profile",
+        help="run one scheme under the cycle-attribution profiler: "
+             "CPI stack, ranked hot load sites, and per-level latency "
+             "histograms, with conservation audited",
+    )
+    prof.add_argument("workload", nargs="?", default="health",
+                      choices=workload_names())
+    prof.add_argument("--scheme", choices=SCHEMES, default="hardware")
+    prof.add_argument("--idiom", default=None,
+                      help="idiom for software/cooperative (default: paper's choice)")
+    prof.add_argument("--param", action="append", default=[],
+                      metavar="KEY=VALUE")
+    prof.add_argument("--small", action="store_true",
+                      help="use the quick test-size parameters")
+    prof.add_argument("--top", type=int, default=10, metavar="N",
+                      help="hot-site rows to print (default: 10)")
+    prof.add_argument("--every", type=int, default=512, metavar="N",
+                      help="auditor cadence (commits) enforcing CPI-stack "
+                           "conservation mid-run (default: 512)")
+    prof.add_argument("--trace", default=None, metavar="FILE",
+                      help="also write a Chrome trace with cpi_stack / "
+                           "load_level counter tracks")
+    prof.add_argument("--limit", type=int, default=1_000_000,
+                      help="trace event-buffer cap (default 1M)")
+    prof.add_argument("-o", "--output", default=None, metavar="FILE",
+                      help="write the repro.profile/1 JSON artifact")
+
+    bd = sub.add_parser(
+        "bench-diff",
+        help="signed per-metric drift between two BENCH_*.json "
+             "perf-baseline reports; exits non-zero on regression "
+             "(the CI perf gate)",
+    )
+    bd.add_argument("baseline", help="baseline report, e.g. BENCH_PR2.json")
+    bd.add_argument("current", nargs="?", default=None,
+                    help="current report (omit with --regen)")
+    bd.add_argument("--regen", action="store_true",
+                    help="regenerate the current report now via "
+                         "benchmarks/perf_baseline.py")
+    bd.add_argument("--quick", action="store_true",
+                    help="with --regen: test-size smoke run (compare "
+                         "against a --quick baseline only)")
+    bd.add_argument("--tolerance", type=float, default=0.25, metavar="T",
+                    help="relative band for wall-clock (lower) and "
+                         "throughput (higher) rules; exact rules always "
+                         "require bit-identical values (default: 0.25)")
+    bd.add_argument("-o", "--output", default=None, metavar="FILE",
+                    help="write the repro.bench_diff/1 JSON artifact")
+
     figure_help = {
         "x1": "extension: on-chip jump-pointer table ablation",
         "x2": "extension: creation overhead + traversal-count sweep",
@@ -654,6 +862,10 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_run_spec(args)
         if args.command == "audit":
             return cmd_audit(args)
+        if args.command == "profile":
+            return cmd_profile(args)
+        if args.command == "bench-diff":
+            return cmd_bench_diff(args)
         return cmd_figure(args)
     except SpecError as exc:
         raise SystemExit(f"error: {exc}") from None

@@ -15,7 +15,10 @@ audit=Auditor())``) and sweeps the model's conservation laws every
   overrides in :mod:`repro.prefetch.engines`);
 * **outcome taxonomy** — every issued or dropped prefetch classified
   exactly once across timely/late/early-evicted/useless/dropped (see
-  :meth:`repro.obs.outcomes.OutcomeTracker.audit_check`).
+  :meth:`repro.obs.outcomes.OutcomeTracker.audit_check`);
+* **CPI-stack conservation** — when a profiler rides along, its
+  attribution buckets must sum exactly to the commit front (see
+  :meth:`repro.obs.profile.Profiler.audit_check`).
 
 Violations become structured :class:`AuditViolation` records, counted in
 the run's :class:`~repro.obs.metrics.MetricRegistry` (``audit.checks``,
@@ -133,6 +136,10 @@ class Auditor:
             self._record(invariant, message, commit, cycle, "hierarchy")
         for invariant, message in model.engine.audit_check(cycle):
             self._record(invariant, message, commit, cycle, "engine")
+        profiler = getattr(model, "profiler", None)
+        if profiler is not None:
+            for invariant, message in profiler.audit_check(cycle):
+                self._record(invariant, message, commit, cycle, "profiler")
         telemetry = getattr(model, "telemetry", None)
         if telemetry is not None:
             for invariant, message in telemetry.outcomes.audit_check():

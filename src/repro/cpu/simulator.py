@@ -28,6 +28,7 @@ def simulate(
     telemetry=None,
     audit=None,
     interpreter_factory=None,
+    profile=None,
 ) -> SimResult:
     """Run ``program`` on the simulated machine; returns a
     :class:`~repro.cpu.stats.SimResult`.
@@ -37,9 +38,11 @@ def simulate(
     prefetch-outcome counts (``SimResult.telemetry``).  ``audit`` is an
     optional :class:`repro.audit.Auditor` that sweeps the model's
     conservation-law invariants every ``audit.interval`` commits;
-    ``interpreter_factory`` substitutes the functional interpreter (the
-    differential validator passes
-    :class:`repro.audit.diff.ReferenceInterpreter` here)."""
+    ``profile`` is an optional :class:`repro.obs.Profiler` that charges
+    every commit-front advance to a CPI-stack bucket (the serialized
+    profile lands in ``SimResult.profile``); ``interpreter_factory``
+    substitutes the functional interpreter (the differential validator
+    passes :class:`repro.audit.diff.ReferenceInterpreter` here)."""
     cfg = cfg or MachineConfig()
     if isinstance(engine, str):
         engine = make_engine(engine, cfg)
@@ -52,6 +55,7 @@ def simulate(
         telemetry=telemetry,
         audit=audit,
         interpreter_factory=interpreter_factory,
+        profile=profile,
     )
     return model.run()
 

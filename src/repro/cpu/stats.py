@@ -32,6 +32,9 @@ class SimResult:
     telemetry: dict | None = None
     """Serialized :class:`repro.obs.Telemetry` (metric registry dump and
     prefetch-outcome counts) when the run was observed; None otherwise."""
+    profile: dict | None = None
+    """Serialized :class:`repro.obs.profile.Profiler` (CPI stack, per-site
+    stall table, latency histograms) when the run was profiled."""
 
     @property
     def ipc(self) -> float:
@@ -103,6 +106,7 @@ class SimResult:
             "engine_stats": asdict(self.engine),
             "extra": dict(self.extra),
             "telemetry": self.telemetry,
+            "profile": self.profile,
         }
 
     @classmethod
@@ -133,6 +137,7 @@ class SimResult:
             engine_name=d["engine"],
             extra=dict(d.get("extra") or {}),
             telemetry=d.get("telemetry"),
+            profile=d.get("profile"),
         )
 
 

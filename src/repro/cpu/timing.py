@@ -81,11 +81,16 @@ class TimingModel:
         telemetry=None,
         audit=None,
         interpreter_factory=None,
+        profile=None,
     ) -> None:
         self.attribute_stalls = attribute_stalls
         self.auditor = audit
         self._interpreter_factory = interpreter_factory
-        self.stall_attribution: dict[tuple[str, str | None], int] = {}
+        if profile is None and attribute_stalls:
+            from ..obs.profile import Profiler
+
+            profile = Profiler()
+        self.profiler = profile
         self.program = program
         self.cfg = cfg
         self.telemetry = telemetry
@@ -96,6 +101,8 @@ class TimingModel:
             collect_miss_intervals=collect_miss_intervals,
         )
         self.hierarchy.set_telemetry(telemetry)
+        if self.profiler is not None:
+            self.hierarchy.set_profiler(self.profiler)
         self.timing_mem = MemoryImage(program.initial_memory)
         lo, hi = heap_range(program.heap_base)
         self.engine.attach(
@@ -103,6 +110,13 @@ class TimingModel:
         )
         self.bpred = BranchPredictor(cfg.branch_pred)
         self._max_steps = max_steps
+
+    @property
+    def stall_attribution(self) -> dict[tuple[int, str], int]:
+        """Commit-stall cycles keyed by ``(pc, reason)`` — lives on the
+        attached :class:`~repro.obs.profile.Profiler` (empty when
+        profiling is off)."""
+        return self.profiler.stall_attribution if self.profiler is not None else {}
 
     # ------------------------------------------------------------------
 
@@ -182,8 +196,7 @@ class TimingModel:
                 si.target,                                # 11
                 si.tag == "lds",                          # 12
                 si.index,                                 # 13
-                (op.name, si.tag),                        # 14: stall key
-                wrkind,                                   # 15
+                wrkind,                                   # 14
             )
         return meta
 
@@ -270,7 +283,18 @@ class TimingModel:
         mispredict_penalty = cfg.branch_pred.misprediction_penalty
         alloc_latency = cfg.alloc_latency
         trace = self.telemetry.trace if self.telemetry is not None else None
-        attribute_stalls = self.attribute_stalls
+
+        # Optional profiler: when detached the hot loop pays only the
+        # ``profiling`` truth checks (same contract as telemetry/audit).
+        profiler = self.profiler
+        profiling = profiler is not None
+        if profiling:
+            profiler.attach(self)
+            prof_charge = profiler.charge
+            prof_on_load = profiler.on_load
+            prof_on_forward = profiler.on_forward
+        load_reason = "load.l1"
+        dep_ready = 0
 
         predict_cond = bpred.predict_cond
         predict_jump = bpred.predict_jump
@@ -294,12 +318,13 @@ class TimingModel:
 
         for inst, addr, value, taken in interp.run():
             (line, is_mem, needs_rs2, frees, fu_occ, cdelta, excat,
-             rs1, rs2, rd, ctl, target, is_lds, idx, attr_key,
+             rs1, rs2, rd, ctl, target, is_lds, idx,
              wrkind) = meta[inst.index]
 
             # ---------------- fetch ----------------
             t = fetch_cycle
-            if redirect_floor > t:
+            redirected = redirect_floor > t
+            if redirected:
                 t = redirect_floor
             if line != cur_line:
                 cur_line = line
@@ -342,6 +367,8 @@ class TimingModel:
                     ready = r
             # A store's address generation does not wait for its data; the
             # data register is folded in at completion below.
+            if profiling:
+                dep_ready = ready  # operand readiness before FU/width waits
 
             # ---------------- issue (width + FU) ----------------
             if frees is not None:
@@ -379,8 +406,12 @@ class TimingModel:
                 fwd = ps_get(addr)
                 if fwd is not None and fwd[1] > start:
                     complete = max(start, fwd[0]) + 1
+                    if profiling:
+                        load_reason = prof_on_forward(idx, complete - start)
                 else:
                     complete = data_access(addr, start, write=False, lds=is_lds)
+                    if profiling:
+                        load_reason = prof_on_load(idx, complete - start)
             elif excat == _EX_SW:
                 n_stores += 1
                 # Address is known at issue (AGU); later loads wait only for
@@ -445,11 +476,24 @@ class TimingModel:
             rob_append(ct)
             if is_mem:
                 lsq_append(ct)
-            if attribute_stalls:
+            if profiling:
                 delta = ct - prev_commit
                 if delta:
-                    attr = self.stall_attribution
-                    attr[attr_key] = attr.get(attr_key, 0) + delta
+                    # Charge the commit-front advance to the latest
+                    # pipeline stage that lifted it (see obs.profile).
+                    if complete <= prev_commit:
+                        reason = "base"  # commit width, not this inst
+                    elif excat == _EX_LW:
+                        reason = load_reason
+                    elif frees is not None and issue > dep_ready:
+                        reason = "fu"
+                    elif dispatch > fetch_time + front:
+                        reason = "window"
+                    elif redirected:
+                        reason = "branch"
+                    else:
+                        reason = "base"
+                    prof_charge(idx, reason, delta, ct)
 
             # ---------------- post-commit effects ----------------
             if excat == _EX_SW:
@@ -514,8 +558,11 @@ class TimingModel:
         tele_dict = None
         if self.telemetry is not None:
             self.telemetry.finalize()
-        # After finalize: the end-of-run sweep sees the tracker in its
-        # terminal state, and violation counters land in the artifact dict.
+        if profiling:
+            profiler.on_finish(self, n_committed, last_commit)
+        # After finalize: the end-of-run sweep sees the tracker (and the
+        # profiler) in terminal state, and violation counters land in the
+        # artifact dict.
         if auditor is not None:
             auditor.on_finish(self, n_committed, last_commit)
         if self.telemetry is not None:
@@ -536,4 +583,5 @@ class TimingModel:
             dtlb_misses=h.dtlb.stats.misses,
             engine_name=engine.name,
             telemetry=tele_dict,
+            profile=profiler.to_dict() if profiling else None,
         )

@@ -122,17 +122,30 @@ def stall_report(
     engine: str = "none",
 ) -> StallReport:
     """Run ``program`` once and attribute every cycle of execution time to
-    the instruction class that was blocking commit."""
+    the instruction class that was blocking commit.
+
+    The underlying attribution is the profiler's ``(pc, reason)`` table
+    (see :mod:`repro.obs.profile`); this report folds it back to the
+    coarser per-``(op, tag)`` view, which still sums exactly to total
+    cycles.  Use ``python -m repro profile`` for the full per-site /
+    per-reason decomposition.
+    """
     cfg = cfg or bench_config()
     model = TimingModel(
         program, cfg, make_engine(engine, cfg), attribute_stalls=True
     )
     result = model.run()
     total = max(1, result.cycles)
+    insts = program.instructions
+    agg: dict[tuple[str, str | None], int] = {}
+    for (pc, __), cycles in model.stall_attribution.items():
+        si = insts[pc]
+        key = (si.op.name, si.tag)
+        agg[key] = agg.get(key, 0) + cycles
     lines = sorted(
         (
             StallLine(op=op, tag=tag, cycles=cycles, share=cycles / total)
-            for (op, tag), cycles in model.stall_attribution.items()
+            for (op, tag), cycles in agg.items()
         ),
         key=lambda line: -line.cycles,
     )

@@ -98,6 +98,7 @@ def canonical_spec(spec: "RunSpec") -> dict[str, Any]:
         "variant": spec.variant,
         "engine": spec.engine,
         "kind": spec.kind,
+        "profile": spec.profile,
         "config": spec.cfg.to_dict(),
         "code": code_fingerprint(),
     }

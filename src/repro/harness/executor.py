@@ -103,6 +103,12 @@ class RunSpec:
     returns a :class:`SimResult`; ``"table1"`` runs the Table-1
     characterization (miss-interval collection plus the compute-time run)
     and returns the row dict.
+
+    ``profile=True`` attaches a :class:`repro.obs.Profiler` to a ``sim``
+    cell; the serialized CPI stack / site table rides along in
+    ``SimResult.profile`` (and therefore into the result cache — the flag
+    is part of the cache key, so profiled and unprofiled runs never serve
+    each other's entries).
     """
 
     benchmark: str
@@ -111,6 +117,7 @@ class RunSpec:
     cfg: MachineConfig
     params: tuple[tuple[str, Any], ...] = ()
     kind: str = "sim"
+    profile: bool = False
 
     @classmethod
     def make(
@@ -121,8 +128,12 @@ class RunSpec:
         cfg: MachineConfig,
         params: dict[str, Any] | None = None,
         kind: str = "sim",
+        profile: bool = False,
     ) -> "RunSpec":
-        return cls(benchmark, variant, engine, cfg, _freeze_params(params), kind)
+        return cls(
+            benchmark, variant, engine, cfg, _freeze_params(params), kind,
+            profile,
+        )
 
     @property
     def params_dict(self) -> dict[str, Any]:
@@ -133,6 +144,8 @@ class RunSpec:
         if self.kind != "sim":
             return f"{label} {self.kind}"
         tag = " (compute)" if self.cfg.perfect_data_memory else ""
+        if self.profile:
+            tag += " +profile"
         return f"{label} x {self.engine}{tag}"
 
 
@@ -172,7 +185,12 @@ def _run_cell(
                 structure=workload.structure, idioms=workload.idioms,
             )
             return ("ok", row.as_dict())
-        result = simulate(program, spec.cfg, engine=spec.engine)
+        profiler = None
+        if spec.profile:
+            from ..obs.profile import Profiler
+
+            profiler = Profiler()
+        result = simulate(program, spec.cfg, engine=spec.engine, profile=profiler)
         return ("ok", result)
     except Exception as exc:
         return ("error", type(exc).__name__, traceback.format_exc())
@@ -648,11 +666,14 @@ class SweepPlan:
         params: dict[str, Any] | None = None,
         idiom: str | None = None,
         cfg: MachineConfig | None = None,
+        profile: bool = False,
     ) -> ScheduledRun:
         cfg = cfg or self.cfg
         workload = get_workload(benchmark, **(params or {}))
         variant, engine = scheme_plan(workload, scheme, idiom)
-        return self._schedule(benchmark, scheme, variant, engine, params, cfg)
+        return self._schedule(
+            benchmark, scheme, variant, engine, params, cfg, profile
+        )
 
     def add_variant_run(
         self,
@@ -661,11 +682,13 @@ class SweepPlan:
         engine: str,
         params: dict[str, Any] | None = None,
         cfg: MachineConfig | None = None,
+        profile: bool = False,
     ) -> ScheduledRun:
         """Arbitrary variant/engine pairing (Figure 4 idiom comparison)."""
         cfg = cfg or self.cfg
         return self._schedule(
-            benchmark, f"{engine}:{variant}", variant, engine, params, cfg
+            benchmark, f"{engine}:{variant}", variant, engine, params, cfg,
+            profile,
         )
 
     def add_table1(
@@ -689,8 +712,14 @@ class SweepPlan:
         engine: str,
         params: dict[str, Any] | None,
         cfg: MachineConfig,
+        profile: bool = False,
     ) -> ScheduledRun:
-        timing = self.add(RunSpec.make(benchmark, variant, engine, cfg, params))
+        # Only the timing cell is profiled; compute-time cells stay
+        # shareable across profiled and unprofiled experiments.
+        timing = self.add(
+            RunSpec.make(benchmark, variant, engine, cfg, params,
+                         profile=profile)
+        )
         compute = self.add(
             RunSpec.make(benchmark, variant, "none", cfg.perfect(), params)
         )

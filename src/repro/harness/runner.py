@@ -111,10 +111,18 @@ class BenchmarkRunner:
             self._compute_cache[variant] = res.cycles
         return self._compute_cache[variant]
 
-    def run(self, scheme: str, idiom: str | None = None, telemetry=None) -> SchemeRun:
+    def run(
+        self,
+        scheme: str,
+        idiom: str | None = None,
+        telemetry=None,
+        profile=None,
+        audit=None,
+    ) -> SchemeRun:
         variant, engine = scheme_plan(self.workload, scheme, idiom)
         result = simulate(
-            self._program(variant), self.cfg, engine=engine, telemetry=telemetry
+            self._program(variant), self.cfg, engine=engine,
+            telemetry=telemetry, profile=profile, audit=audit,
         )
         return SchemeRun(
             benchmark=self.name,
@@ -125,10 +133,13 @@ class BenchmarkRunner:
             result=result,
         )
 
-    def run_variant(self, variant: str, engine: str, telemetry=None) -> SchemeRun:
+    def run_variant(
+        self, variant: str, engine: str, telemetry=None, profile=None, audit=None
+    ) -> SchemeRun:
         """Arbitrary variant/engine pairing (Figure 4 idiom comparison)."""
         result = simulate(
-            self._program(variant), self.cfg, engine=engine, telemetry=telemetry
+            self._program(variant), self.cfg, engine=engine,
+            telemetry=telemetry, profile=profile, audit=audit,
         )
         return SchemeRun(
             benchmark=self.name,

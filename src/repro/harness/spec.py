@@ -21,6 +21,7 @@ Spec documents have this shape (TOML shown; JSON is isomorphic)::
     kind = "matrix"                  # or "table1"
     machine = "bench"                # a repro.config.MACHINES name
     # overrides = {"dl1.size" = 16384}   # dotted-path machine tweaks
+    # profile = true                 # CPI-stack profiler on every timing cell
 
     workloads = ["health"]           # strings or [[workloads]] tables
     schemes = ["base", "software", "cooperative", "hardware", "dbp"]
@@ -233,6 +234,10 @@ class ExperimentSpec:
     axes: tuple[Axis, ...] = ()
     columns: tuple[str, ...] = ()
     label_key: str = "scheme"
+    profile: bool = False
+    """Attach a :class:`repro.obs.Profiler` to every timing cell: each
+    cell's CPI stack / hot-site table rides into the result cache with
+    its ``SimResult`` (``profile = true`` in the spec file)."""
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -281,6 +286,8 @@ class ExperimentSpec:
             d["columns"] = list(self.columns)
         if self.label_key != "scheme":
             d["label_key"] = self.label_key
+        if self.profile:
+            d["profile"] = True
         return d
 
     @classmethod
@@ -289,7 +296,7 @@ class ExperimentSpec:
             raise SpecError(f"spec must be a mapping, got {type(data).__name__}")
         _reject_unknown("spec", data, {
             "name", "title", "kind", "machine", "overrides", "workloads",
-            "schemes", "axes", "columns", "label_key",
+            "schemes", "axes", "columns", "label_key", "profile",
         })
         return cls(
             name=data.get("name", ""),
@@ -304,6 +311,7 @@ class ExperimentSpec:
             axes=tuple(Axis.parse(a) for a in data.get("axes", ())),
             columns=tuple(data.get("columns", ())),
             label_key=data.get("label_key", "scheme"),
+            profile=bool(data.get("profile", False)),
         )
 
     # -- convenient variations ----------------------------------------
@@ -472,11 +480,13 @@ def compile_spec(
                 continue
             if sel.idioms:
                 rows.extend(_plan_idiom_rows(
-                    plan, sel, params, point_cfg, axis_values
+                    plan, sel, params, point_cfg, axis_values,
+                    profile=spec.profile,
                 ))
             else:
                 rows.extend(_plan_scheme_rows(
-                    plan, sel, schemes, params, point_cfg, axis_values
+                    plan, sel, schemes, params, point_cfg, axis_values,
+                    profile=spec.profile,
                 ))
     return CompiledSpec(spec, base_cfg, plan, rows)
 
@@ -488,15 +498,17 @@ def _plan_scheme_rows(
     params: dict[str, Any],
     cfg: MachineConfig,
     axis_values: dict[str, Any],
+    profile: bool = False,
 ) -> list[_PlannedRow]:
     per_scheme = {
-        s: plan.add_run(sel.name, s, params, idiom=sel.idiom, cfg=cfg)
+        s: plan.add_run(sel.name, s, params, idiom=sel.idiom, cfg=cfg,
+                        profile=profile)
         for s in schemes
     }
     # Normalization needs the baseline even when it is not displayed;
     # deduplication makes this free when "base" is already in schemes.
     base_sr = per_scheme.get("base") or plan.add_run(
-        sel.name, "base", params, cfg=cfg
+        sel.name, "base", params, cfg=cfg, profile=profile
     )
     return [
         _PlannedRow(sel.name, s, axis_values, run=per_scheme[s], base=base_sr)
@@ -510,11 +522,12 @@ def _plan_idiom_rows(
     params: dict[str, Any],
     cfg: MachineConfig,
     axis_values: dict[str, Any],
+    profile: bool = False,
 ) -> list[_PlannedRow]:
     """Figure-4 expansion: the base run plus every available
     ``impl:idiom`` variant of the listed idioms."""
     workload = get_workload(sel.name, **params)
-    base_sr = plan.add_run(sel.name, "base", params, cfg=cfg)
+    base_sr = plan.add_run(sel.name, "base", params, cfg=cfg, profile=profile)
     rows = [_PlannedRow(
         sel.name, "base", axis_values, run=base_sr, base=base_sr
     )]
@@ -524,7 +537,8 @@ def _plan_idiom_rows(
             variant = f"{impl}:{idiom}"
             if variant not in workload.variants:
                 continue
-            vsr = plan.add_variant_run(sel.name, variant, engine, params, cfg=cfg)
+            vsr = plan.add_variant_run(sel.name, variant, engine, params,
+                                       cfg=cfg, profile=profile)
             rows.append(_PlannedRow(
                 sel.name, variant, axis_values, run=vsr, base=base_sr,
                 base_fallback="baseline run failed",

@@ -62,6 +62,7 @@ class MemoryHierarchy:
         "_l2_bus_demand", "_l2_bus_all", "_mem_bus_demand", "_mem_bus_all",
         "_mshr_done", "_inflight", "_pf_lines", "_pf_inflight", "_perfect",
         "_demand_fill_estimate", "_obs", "_miss_hist", "_dl1_line_mask",
+        "_prof",
     )
 
     def __init__(
@@ -109,6 +110,9 @@ class MemoryHierarchy:
         # Optional observability context (None = zero-overhead fast path).
         self._obs: "Telemetry | None" = None
         self._miss_hist = None
+        # Optional profiler (same contract): notes the service level and
+        # latency of every demand load for the CPI stack / site table.
+        self._prof = None
         # L1 line mask, hoisted for the demand-access fast path.
         self._dl1_line_mask = ~(cfg.dl1.line - 1)
 
@@ -126,6 +130,10 @@ class MemoryHierarchy:
             )
         else:
             self._miss_hist = None
+
+    def set_profiler(self, prof) -> None:
+        """Attach a :class:`repro.obs.profile.Profiler` (or ``None``)."""
+        self._prof = prof
 
     # ------------------------------------------------------------------
     # Auditing
@@ -215,7 +223,8 @@ class MemoryHierarchy:
         priority to demand transfers."""
         cfg = self.cfg
         t = time + cfg.l2.latency
-        if self.l2.access(line_addr):
+        l2_hit = self.l2.access(line_addr)
+        if l2_hit:
             bus_start = max(t, self._l2_bus_all if background else self._l2_bus_demand)
         else:
             # Main memory access, then fill L2.
@@ -242,6 +251,8 @@ class MemoryHierarchy:
         if not background:
             self._l2_bus_demand = max(self._l2_bus_demand, done)
         self.stats.bytes_l1_l2 += fill_line_bytes
+        if self._prof is not None:
+            self._prof._l2_source = "l2" if l2_hit else "mem"
         return done
 
     def _writeback_l1(self, line_addr: int) -> None:
@@ -282,6 +293,8 @@ class MemoryHierarchy:
         else:
             st.loads += 1
         if self._perfect:
+            if self._prof is not None and not write:
+                self._prof.note_access("l1", 1)
             return time + 1
 
         time += self.dtlb.translate(addr)
@@ -304,6 +317,8 @@ class MemoryHierarchy:
                     self._inflight[line] = cap
             if write and self.dl1.probe(addr):
                 self.dl1.access(addr, write=True)  # dirty/LRU update
+            elif self._prof is not None and not write:
+                self._prof.note_access("merge", inflight - time)
             return inflight
 
         if self.dl1.access(addr, write=write):
@@ -313,6 +328,8 @@ class MemoryHierarchy:
                     self._obs.outcomes.on_demand(line, time)
                 self._pf_lines.discard(line)
                 self._pf_inflight.discard(line)
+            if self._prof is not None and not write:
+                self._prof.note_access("l1", self.cfg.dl1.latency)
             return time + self.cfg.dl1.latency
 
         if not write:
@@ -329,11 +346,18 @@ class MemoryHierarchy:
                 self._obs.outcomes.on_demand(line, time)
             self._pf_inflight.discard(line)
             self._fill_l1(addr, dirty=write)
+            if self._prof is not None and not write:
+                self._prof.note_access(
+                    "pb", self.cfg.prefetch.prefetch_buffer.latency
+                )
             return time + self.cfg.prefetch.prefetch_buffer.latency
 
         t = self._acquire_mshr(time + self.cfg.dl1.latency)
         ready = self._l2_path(line, t, self.cfg.dl1.line, background=write)
         self._release_mshr(ready)
+        if self._prof is not None and not write:
+            # _l2_path just recorded whether L2 hit or memory serviced it.
+            self._prof.note_access(self._prof._l2_source, ready - time)
         obs = self._obs
         if obs is not None and not write:
             self._miss_hist.observe(ready - time)

@@ -20,6 +20,14 @@ from .metrics import (
     exponential_buckets,
     linear_buckets,
 )
+from .profile import (
+    BUCKETS,
+    LEVELS,
+    Profiler,
+    cpi_stack_rows,
+    hot_site_rows,
+    latency_rows,
+)
 from .outcomes import (
     DROPPED,
     EARLY,
@@ -64,17 +72,23 @@ class Telemetry:
 
 
 __all__ = [
+    "BUCKETS",
     "Counter",
     "EventTrace",
     "Histogram",
+    "LEVELS",
     "MetricRegistry",
     "MISS_LATENCY_BOUNDS",
     "OutcomeTracker",
+    "Profiler",
     "Telemetry",
     "artifact",
     "classify_timeliness",
+    "cpi_stack_rows",
     "dump_json",
     "exponential_buckets",
+    "hot_site_rows",
+    "latency_rows",
     "linear_buckets",
     "load_json",
     "schema_kind",

@@ -12,6 +12,9 @@ Schema tags currently in use:
 * ``repro.stats/1``       — ``python -m repro stats`` (per-engine
   prefetch-outcome counts, metric registry dumps, time decomposition)
 * ``repro.trace/1``       — sidecar metadata for a Chrome trace file
+* ``repro.profile/1``     — ``python -m repro profile`` (CPI stack,
+  hot-site table, per-level latency histograms)
+* ``repro.bench_diff/1``  — ``python -m repro bench-diff`` drift rows
 """
 
 from __future__ import annotations

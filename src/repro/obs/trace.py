@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 
 #: Lane (Chrome "thread") ids per event category.
-_LANES = {"core": 1, "mem": 2, "prefetch": 3}
+_LANES = {"core": 1, "mem": 2, "prefetch": 3, "phase": 4, "profile": 5}
 
 
 class EventTrace:
@@ -47,6 +47,19 @@ class EventTrace:
         """A span event from cycle ``ts`` lasting ``dur`` cycles."""
         self._add("X", name, cat, ts, dur, args)
 
+    def counter(
+        self, name: str, ts: int, values: dict, cat: str = "profile"
+    ) -> None:
+        """A counter-track sample at cycle ``ts``: Perfetto renders each
+        key of ``values`` as one series of a stacked ``ph="C"`` track
+        (used for CPI-stack and per-level miss counters)."""
+        self._add("C", name, cat, ts, 0, dict(values))
+
+    def phase(self, name: str, ts: int, dur: int, **args: object) -> None:
+        """Label a simulation phase (warmup, measured region, drain) as a
+        span on the dedicated ``phase`` lane."""
+        self._add("X", name, "phase", ts, dur, args)
+
     # -- export ---------------------------------------------------------
 
     def chrome_events(self) -> list[dict]:
@@ -67,6 +80,16 @@ class EventTrace:
                     "pid": 0,
                     "tid": tid,
                     "args": {"name": cat},
+                }
+            )
+            # Pin lane order in Perfetto (insertion order is not honored).
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "thread_sort_index",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"sort_index": tid},
                 }
             )
         for ph, name, cat, ts, dur, args in self.events:

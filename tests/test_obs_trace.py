@@ -61,3 +61,42 @@ def test_untraced_telemetry_has_no_trace_events(tiny_cfg):
     tele = Telemetry()  # metrics on, trace off
     simulate(program, tiny_cfg, engine="dbp", telemetry=tele)
     assert tele.trace is None
+
+
+def test_counter_track_events():
+    tr = EventTrace()
+    tr.counter("cpi_stack", 4096, {"base": 10, "load.mem": 5})
+    (ph, name, cat, ts, dur, args) = tr.events[0]
+    assert (ph, name, cat, ts) == ("C", "cpi_stack", "profile", 4096)
+    ev = next(e for e in tr.to_chrome()["traceEvents"] if e["ph"] == "C")
+    # Counter samples carry the values dict and land on the profile lane;
+    # "C" events must not carry a dur or instant scope.
+    assert ev["args"] == {"base": 10, "load.mem": 5}
+    assert ev["tid"] == 5
+    assert "dur" not in ev and "s" not in ev
+
+
+def test_counter_copies_values_dict():
+    tr = EventTrace()
+    values = {"base": 1}
+    tr.counter("cpi_stack", 1, values)
+    values["base"] = 99  # later mutation must not alter the recorded sample
+    assert tr.events[0][5] == {"base": 1}
+
+
+def test_phase_span_lands_on_phase_lane():
+    tr = EventTrace()
+    tr.phase("measured", 100, 500, region=1)
+    ev = next(e for e in tr.to_chrome()["traceEvents"] if e["name"] == "measured")
+    assert ev["ph"] == "X" and ev["dur"] == 500 and ev["tid"] == 4
+    assert ev["args"] == {"region": 1}
+
+
+def test_lane_metadata_names_and_sort_indices():
+    events = EventTrace().to_chrome()["traceEvents"]
+    names = {e["tid"]: e["args"]["name"]
+             for e in events if e["name"] == "thread_name"}
+    sorts = {e["tid"]: e["args"]["sort_index"]
+             for e in events if e["name"] == "thread_sort_index"}
+    assert names == {1: "core", 2: "mem", 3: "prefetch", 4: "phase", 5: "profile"}
+    assert sorts == {tid: tid for tid in names}
