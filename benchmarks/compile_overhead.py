@@ -1,0 +1,130 @@
+"""Block-compile warmup cost and steady-state speedup per workload.
+
+The ``compiled`` simulation engine pays a one-time cost per program: hot
+basic blocks are discovered, their fused functional+timing source is
+generated and ``compile()``d, and each block is ``exec``-bound into the
+run's state.  This probe separates that warmup from the steady-state win::
+
+    python benchmarks/compile_overhead.py            # bench-size, COMPILE_OVERHEAD.json
+    python benchmarks/compile_overhead.py --quick    # test-size smoke run
+
+Per workload it reports:
+
+* ``table_seconds``    — best-of-N with the plain table engine (no JIT),
+* ``cold_seconds``     — first compiled-engine run on a freshly built
+  program (pays codegen + ``compile()`` for every hot block),
+* ``warm_seconds``     — best-of-N re-runs of the *same* program object
+  (code objects are memoized per program; only the per-run bind remains),
+* ``compile_overhead_seconds`` — ``cold - warm``, the amortized-away cost,
+* ``steady_speedup``   — ``table / warm``, the sustained win,
+* ``blocks``           — fused blocks compiled for the program.
+
+Cycle counts are asserted identical between engines on every run.  The
+output is a ``repro.compile_overhead/1`` artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+from repro import bench_config, get_workload, simulate, small_config  # noqa: E402
+from repro.harness import small_params  # noqa: E402
+from repro.isa.blockjit import jit_max_block, jit_threshold  # noqa: E402
+from repro.obs import artifact  # noqa: E402
+
+RUNS = (
+    ("health", "hardware"),
+    ("em3d", "hardware"),
+    ("treeadd", "none"),
+)
+REPS = 3
+
+
+def _fused_blocks(program) -> int:
+    """Fused blocks compiled for ``program`` (via the decode memo)."""
+    memo = getattr(program, "_decode_memo", None) or {}
+    return sum(
+        len(slot) for key, slot in memo.items()
+        if isinstance(key, tuple) and key and key[0] == "fused"
+    )
+
+
+def _time(program, cfg, engine, sim_engine, reps=REPS):
+    best = float("inf")
+    result = None
+    for __ in range(reps):
+        t0 = time.perf_counter()
+        result = simulate(program, cfg, engine=engine, sim_engine=sim_engine)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def probe(name: str, engine: str, cfg, params: dict | None) -> dict:
+    build = lambda: get_workload(name, **(params or {})).build("baseline").program
+
+    t_table, r_table = _time(build(), cfg, engine, "table")
+
+    # Cold: one run on a fresh program — block discovery + codegen +
+    # compile() all land inside this measurement.
+    program = build()
+    t_cold, r_cold = _time(program, cfg, engine, "compiled", reps=1)
+    blocks = _fused_blocks(program)
+
+    # Warm: same program object, so every block's code object is served
+    # from the decode memo and only the per-run exec bind is paid.
+    t_warm, r_warm = _time(program, cfg, engine, "compiled")
+
+    for label, r in (("cold", r_cold), ("warm", r_warm)):
+        assert r.cycles == r_table.cycles, (
+            f"{name}/{engine}: {label} compiled run simulated {r.cycles} "
+            f"cycles, table engine {r_table.cycles}"
+        )
+    return {
+        "instructions": r_table.instructions,
+        "cycles": r_table.cycles,
+        "blocks": blocks,
+        "table_seconds": round(t_table, 4),
+        "cold_seconds": round(t_cold, 4),
+        "warm_seconds": round(t_warm, 4),
+        "compile_overhead_seconds": round(max(0.0, t_cold - t_warm), 4),
+        "steady_speedup": round(t_table / max(t_warm, 1e-9), 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="test-size workloads (smoke run)")
+    ap.add_argument("-o", "--output", default="COMPILE_OVERHEAD.json")
+    args = ap.parse_args(argv)
+
+    cfg = small_config() if args.quick else bench_config()
+    runs = {}
+    for name, engine in RUNS:
+        params = small_params(name) if args.quick else None
+        row = runs[f"{name}/{engine}"] = probe(name, engine, cfg, params)
+        print(f"{name}/{engine}: {row['blocks']} blocks, "
+              f"compile overhead {row['compile_overhead_seconds']}s, "
+              f"steady {row['steady_speedup']}x vs table "
+              f"(cold {row['cold_seconds']}s, warm {row['warm_seconds']}s)")
+
+    doc = artifact("compile_overhead", {
+        "quick": args.quick,
+        "jit_threshold": jit_threshold(),
+        "jit_max_block": jit_max_block(),
+        "runs": runs,
+    })
+    with open(args.output, "w") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,7 @@ sys.path.insert(0, "src")
 
 from repro import bench_config, get_workload, simulate, small_config  # noqa: E402
 from repro.harness import ResultCache, figure5, small_params  # noqa: E402
+from repro.isa.engines import default_sim_engine  # noqa: E402
 
 #: Frozen measurements of the pre-PR revision (the PR-1 tip) on the
 #: reference box that generated the committed BENCH_PR2.json.  ``cycles``
@@ -69,13 +70,19 @@ REPS = 3
 SPEEDUP_TARGET = 1.3
 
 
-def _time_single(name: str, engine: str, cfg) -> dict:
-    program = get_workload(name).build("baseline").program
+def _time_single(
+    name: str,
+    engine: str,
+    cfg,
+    params: dict | None = None,
+    sim_engine: str | None = None,
+) -> dict:
+    program = get_workload(name, **(params or {})).build("baseline").program
     best = float("inf")
     result = None
     for __ in range(REPS):
         t0 = time.perf_counter()
-        result = simulate(program, cfg, engine=engine)
+        result = simulate(program, cfg, engine=engine, sim_engine=sim_engine)
         best = min(best, time.perf_counter() - t0)
     return {
         "seconds": round(best, 3),
@@ -102,11 +109,35 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("-o", "--output", default="BENCH_PR2.json")
     args = ap.parse_args(argv)
 
-    report: dict = {"schema": "repro.bench_pr2/1"}
+    report: dict = {"schema": "repro.bench_pr2/1",
+                    "sim_engine": default_sim_engine()}
 
     if args.quick:
         cfg = small_config()
         params = {n: small_params(n) for n in SWEEP_BENCHMARKS}
+
+        # Test-size throughput, table vs the block-compiled fast path.
+        # Absolute insts/s is box-dependent (generous bench-diff
+        # tolerance required); ``fused_speedup`` is a same-box,
+        # same-run ratio and therefore a portable lower-bound gate.
+        report["quick_single_runs"] = {}
+        for name, engine in SINGLE_RUNS:
+            key = f"{name}/{engine}"
+            p = small_params(name)
+            table = _time_single(name, engine, cfg, p, sim_engine="table")
+            fused = _time_single(name, engine, cfg, p, sim_engine="compiled")
+            assert fused["cycles"] == table["cycles"], (
+                f"{key}: compiled engine simulated {fused['cycles']} cycles, "
+                f"table engine {table['cycles']} — the fast path diverged"
+            )
+            row = dict(fused)
+            row["fused_speedup"] = round(
+                table["seconds"] / max(fused["seconds"], 1e-9), 2
+            )
+            report["quick_single_runs"][key] = row
+            print(f"{key} (quick): {fused['seconds']}s compiled "
+                  f"({row['sim_insts_per_sec']:,} sim insts/s, "
+                  f"{row['fused_speedup']}x vs table)")
     else:
         cfg = bench_config()
         params = None
@@ -156,6 +187,9 @@ def main(argv: list[str] | None = None) -> int:
         "serial_seconds": round(t_serial, 3),
         "jobs4_seconds": round(t_par, 3),
         "jobs4_scaling": round(t_serial / t_par, 2),
+        # Scaling depends on free host cores, not on the code under
+        # test; audit.bench classifies it "info" accordingly.
+        "cpu_limited": True,
         "cold_cache_seconds": round(t_cold, 3),
         "warm_cache_seconds": round(t_warm, 3),
         "warm_speedup": round(t_cold / t_warm, 1),

@@ -83,6 +83,7 @@ from .obs import (
     hot_site_rows,
     latency_rows,
 )
+from .isa.engines import SIM_ENGINE_ENV, SIM_ENGINES
 from .prefetch.engines import ENGINES
 from .workloads import workload_class
 
@@ -159,11 +160,20 @@ def _list_engines() -> str:
     return format_table(rows, "Prefetch engines")
 
 
+def _list_sim_engines() -> str:
+    rows = [
+        {"engine": name, "description": se.description}
+        for name, se in SIM_ENGINES.items()
+    ]
+    return format_table(rows, "Simulation engines")
+
+
 def cmd_list(args) -> int:
     sections = {
         "machines": _list_machines,
         "schemes": _list_schemes,
         "engines": _list_engines,
+        "sim-engines": _list_sim_engines,
         "workloads": _list_workloads,
     }
     if args.what != "all":
@@ -646,12 +656,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override main-memory latency (cycles)")
     parser.add_argument("--interval", type=int, default=0,
                         help="override the hardware jump interval")
+    parser.add_argument("--engine", default=None, metavar="NAME",
+                        choices=SIM_ENGINES.names(),
+                        help="simulation engine executing every cell "
+                             "(table/reference/compiled; bit-identical "
+                             "results, different speed). Equivalent to "
+                             "setting $REPRO_SIM_ENGINE")
     sub = parser.add_subparsers(dest="command", required=True)
 
     lst = sub.add_parser("list", help="list the experiment-axis registries")
     lst.add_argument("what", nargs="?", default="all",
                      choices=("all", "machines", "schemes", "engines",
-                              "workloads"),
+                              "sim-engines", "workloads"),
                      help="one registry, or everything (default)")
 
     run = sub.add_parser("run", help="run one workload")
@@ -849,6 +865,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.engine:
+        # The environment override is the single source of the session
+        # default (harness workers inherit it), so the flag just sets it.
+        os.environ[SIM_ENGINE_ENV] = args.engine
     try:
         if args.command == "list":
             return cmd_list(args)

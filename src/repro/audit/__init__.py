@@ -30,6 +30,7 @@ from .diff import (
     Divergence,
     FieldDiff,
     ReferenceInterpreter,
+    diff_all_engines,
     diff_commit_streams,
     diff_results,
     reference_simulate,
@@ -74,6 +75,7 @@ __all__ = [
     "audit_workloads",
     "compare_benchmarks",
     "corrupt_outcome_tracker",
+    "diff_all_engines",
     "diff_commit_streams",
     "diff_results",
     "differential_check",

@@ -72,11 +72,20 @@ DEFAULT_RULES: tuple[BenchRule, ...] = (
     BenchRule("invalid", "info"),
     # Wall-clock: smaller is better.
     BenchRule("*seconds", "lower"),
-    # Throughput and speedup ratios: bigger is better.
-    BenchRule("sim_insts_per_sec", "higher"),
+    # Throughput and speedup ratios: bigger is better.  These carry
+    # their own tolerances so a generous CLI --tolerance (used to wash
+    # out runner-speed noise on wall-clock leaves) cannot turn the
+    # throughput floor vacuous: absolute insts/s may drop to 0.3x of
+    # the reference box before failing, while the fused-vs-table ratio
+    # — measured same-box, same-run — gets a tighter 0.65x floor.
+    BenchRule("sim_insts_per_sec", "higher", 0.7),
     BenchRule("speedup_vs_seed", "higher"),
+    BenchRule("fused_speedup", "higher", 0.35),
     BenchRule("warm_speedup", "higher"),
-    BenchRule("jobs4_scaling", "higher"),
+    # Pool scaling is a property of the host's free cores at run time
+    # (the report marks it ``cpu_limited``), not of the code under test;
+    # report it, never gate on it.
+    BenchRule("jobs4_scaling", "info"),
 )
 
 

@@ -1,0 +1,775 @@
+"""Fused block-compiled timing fast path (template JIT over the hot loop).
+
+:mod:`repro.isa.blockjit` removes functional-interpreter dispatch; this
+module goes one tier further and fuses the *timing model* into the same
+generated superinstructions.  For each basic block it emits one Python
+function containing, per instruction, the functional handler body
+followed by the timing-model stages (fetch, dispatch, operand readiness,
+issue, execute, control resolution, commit, post-commit effects) with
+every decode-time constant — register indices, immediates, I-cache line,
+FU binding, latencies, machine widths — baked in as literals.  This
+eliminates the generator yield/resume per instruction, the meta-tuple
+unpack, and every ``excat``/``ctl``/``wrkind`` dispatch chain.
+
+Cycle-exactness is the contract: each emitted stage is the corresponding
+:meth:`~repro.cpu.timing.TimingModel.run` statement with constants
+substituted, in the same order.  The only statements *elided* are ones a
+short proof shows are dead inside a basic block, and the elision is the
+"batched per-block cache/TLB lookup" the block compiler exists for:
+
+* **I-line check** — within a block, pcs are consecutive, so whether
+  instruction *j* starts a new I-cache line is static; ``inst_fetch``
+  (which walks the ITLB + IL1) is called once per line per block instead
+  of being guarded per instruction.
+* **redirect floor** — ``redirect_floor`` only changes at control
+  resolution, and blocks end at control transfers; for *j > 0*,
+  ``t >= fetch_cycle(after j-1) >= t(j-1) >= redirect_floor`` makes the
+  check statically false.
+* **line-ready wait** — for *j > 0* on an unchanged line,
+  ``line_ready <= t(j-1) <= fetch_cycle <= t``, so the wait is dead.
+
+Everything observable is preserved: the ``pending_stores`` prune runs at
+exactly the original per-store points (a pruned entry is visible to
+store-to-load forwarding, so its cadence matters), the ``issued_at``
+prune keeps its exact every-65536-commits cadence, FU selection keeps
+argmin-first tie-breaking, and error messages fire at the same dynamic
+instruction with the same text (the budget check falls back to
+single-instruction stubs near the limit).
+
+The fast path only engages when no telemetry, auditor or profiler is
+attached — those hooks observe per-instruction state mid-pipeline, so
+observed runs keep the plain :class:`~repro.cpu.timing.TimingModel` loop
+(driven by the block-JIT functional interpreter instead); profiled CPI
+stacks therefore stay conserved by construction.  Prefetch engines are
+fully supported: their ``on_load_issue`` / ``on_load_commit`` /
+``on_sw_prefetch`` hooks and dataflow-provenance tracking are compiled
+into the blocks, specialized away when the engine does not need them.
+
+Generated code objects are cached per program under a machine/engine
+signature via :func:`~repro.isa.interpreter.decode_memo`; per run, only
+an ``exec`` rebinding state into each block's defaults is paid.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from ..errors import ExecutionError
+from ..isa.blockjit import _CONTROL_HIDS, block_span, jit_max_block, jit_threshold
+from ..isa.interpreter import _DEFAULT_MAX_STEPS, decode_memo, decode_program
+from ..isa.opcodes import FuClass
+from ..isa.registers import NUM_REGS, SP
+from ..mem.allocator import SizeClassAllocator
+from ..mem.memory_image import MemoryImage
+from ..prefetch.base import PrefetchEngine
+from ..prefetch.engines import DBPEngine, HardwareJPPEngine
+from .stats import SimResult
+from .timing import (
+    _DISPATCH_EXTRA,
+    _ISSUED_AT_PRUNE_INTERVAL,
+    _ISSUED_AT_PRUNE_THRESHOLD,
+    TimingModel,
+)
+
+__all__ = ["run_compiled"]
+
+# State-array slots (block-local scalars spilled between block calls).
+(_S_FCYC, _S_FCNT, _S_RF, _S_LINE, _S_LRDY, _S_SAF, _S_LC, _S_CC, _S_CK,
+ _S_NC, _S_NL, _S_NS, _S_NLDS) = range(13)
+
+_WRITEBACK = (
+    "    S[0] = fcyc; S[1] = fc; S[2] = rf0; S[3] = cl; S[4] = lr; "
+    "S[5] = sa; S[6] = lc; S[7] = cc; S[8] = ck; S[9] = n9; S[10] = n10; "
+    "S[11] = n11; S[12] = n12"
+)
+
+_PROLOGUE = (
+    "    fcyc = S[0]; fc = S[1]; rf0 = S[2]; cl = S[3]; lr = S[4]; "
+    "sa = S[5]; lc = S[6]; cc = S[7]; ck = S[8]; n9 = S[9]; n10 = S[10]; "
+    "n11 = S[11]; n12 = S[12]"
+)
+
+_PARAMS = (
+    "S=S, R=R, M=M, MG=MG, AL=AL, _I=_I, XE=XE, SQ=SQ, RR=RR, rob=rob, "
+    "lsq=lsq, RA=RA, LA=LA, RP=RP, LP=LP, IA=IA, IG=IG, PS=PS, PG=PG, "
+    "DA=DA, IF=IF, TS=TS, BP=BP, BS=BS, BT=BT, GT=GT, MT=MT, BTB=BTB, "
+    "RAS=RAS, BI=BI, RPC=RPC, LI=LI, LC_=LC_, "
+    "SP_=SP_, SPC=SPC, SVL=SVL, _len=_len, F0=F0, F1=F1, F2=F2, F3=F3, "
+    "F4=F4, F5=F5, F6=F6, HS=HS, DT=DT, DTS=DTS, DTE=DTE, D1=D1, "
+    "D1ST=D1ST, D1S=D1S, D1D=D1D, PFL=PFL, IFG=IFG, IT=IT, ITS=ITS, "
+    "ITE=ITE, I1=I1, I1ST=I1ST, I1S=I1S, abs=abs, int=int, float=float, "
+    "isinstance=isinstance"
+)
+
+# Handler-id groups reused from the functional JIT's emission tables.
+from ..isa.blockjit import (  # noqa: E402  (kept near use for readability)
+    _ALU_EXPR, _COND_OP,
+)
+from ..isa.interpreter import (  # noqa: E402
+    _H_ALLOC, _H_DIV, _H_FDIV, _H_FSQRT, _H_HALT, _H_J, _H_JAL, _H_JR,
+    _H_LW, _H_NOP, _H_PF, _H_REM, _H_SW,
+)
+
+
+def _fmt(value) -> str:
+    return repr(value)
+
+
+def _emit_functional(L, pc: int, dec) -> None:
+    """Functional handler body for one instruction (no commit record;
+    leaves ``a``/``v``/``tk`` for the timing stages that need them)."""
+    hid, rd, r1, r2, imm, target, clears, _inst = dec
+    expr = _ALU_EXPR.get(hid)
+    if expr is not None:
+        L.append(f"    R[{rd}] = " + expr.format(r1=r1, r2=r2, imm=_fmt(imm)))
+    elif hid == _H_LW:
+        L.append(f"    a = R[{r1}] + {_fmt(imm)}")
+        L.append("    if a % 4 or a < 0:")
+        L.append(f"        raise XE(f\"pc {pc}: misaligned/negative load "
+                 "address {a:#x}\")")
+        L.append("    v = MG(a, 0)")
+        L.append(f"    R[{rd}] = v")
+    elif hid == _H_SW:
+        L.append(f"    a = R[{r1}] + {_fmt(imm)}")
+        L.append("    if a % 4 or a < 0:")
+        L.append(f"        raise XE(f\"pc {pc}: misaligned/negative store "
+                 "address {a:#x}\")")
+        L.append(f"    v = R[{r2}]")
+        L.append("    M[a] = v")
+    elif hid == _H_PF:
+        L.append(f"    a = R[{r1}] + {_fmt(imm)}")
+    elif hid == _H_ALLOC:
+        L.append(f"    v = R[{r1}] + {_fmt(imm)}")
+        L.append("    a = AL(int(v))")
+        L.append(f"    R[{rd}] = a")
+    elif hid == _H_DIV:
+        L.append(f"    b = R[{r2}]")
+        L.append("    if b == 0:")
+        L.append(f"        raise XE(\"pc {pc}: integer division by zero\")")
+        L.append(f"    R[{rd}] = int(R[{r1}] / b)")
+    elif hid == _H_REM:
+        L.append(f"    b = R[{r2}]")
+        L.append("    if b == 0:")
+        L.append(f"        raise XE(\"pc {pc}: integer remainder by zero\")")
+        L.append(f"    a = R[{r1}]")
+        L.append(f"    R[{rd}] = a - int(a / b) * b")
+    elif hid == _H_FDIV:
+        L.append(f"    b = R[{r2}]")
+        L.append("    if b == 0:")
+        L.append(f"        raise XE(\"pc {pc}: FP division by zero\")")
+        L.append(f"    R[{rd}] = R[{r1}] / b")
+    elif hid == _H_FSQRT:
+        L.append(f"    v = R[{r1}]")
+        L.append("    if v < 0:")
+        L.append(f"        raise XE(\"pc {pc}: FSQRT of negative value\")")
+        L.append(f"    R[{rd}] = SQ(v)")
+    elif hid in _COND_OP:
+        L.append(f"    tk = R[{r1}] {_COND_OP[hid]} R[{r2}]")
+    elif hid == _H_JAL:
+        L.append(f"    R[{rd}] = {pc + 1}")
+    elif hid == _H_JR:
+        L.append(f"    v = R[{r1}]")
+        L.append("    if not isinstance(v, int):")
+        L.append(f"        raise XE(\"pc {pc}: JR to non-integer target\")")
+    elif hid in (_H_J, _H_NOP, _H_HALT):
+        pass
+    else:  # pragma: no cover - exhaustive over handler ids
+        raise ExecutionError(f"fused jit: unhandled handler id {hid}")
+    # Architectural zero-register reset (HALT returns before this point
+    # in the interpreter, and its handler writes nothing anyway).
+    if clears and hid != _H_HALT:
+        L.append("    R[0] = 0")
+
+
+def _emit_iline(L, line: int, spec, indent: str) -> None:
+    """Inline ITLB-hit + IL1-hit fast path for fetching ``line`` (a line
+    address, so the page and set index are codegen-time literals); falls
+    back to :meth:`MemoryHierarchy.inst_fetch` on either miss.  The fast
+    path performs exactly the bookkeeping the hit path of
+    ``TLB.translate`` + ``Cache.access`` would (stats, LRU sequence), and
+    ``time + il1.latency - il1.latency`` collapses to ``lr = t``."""
+    ipg = line >> spec["ipgs"]
+    isi = (line >> spec["i1ls"]) & spec["i1sm"]
+    L.append(f"{indent}s2 = I1S[{isi}]")
+    L.append(f"{indent}if {ipg} in ITE and {line} in s2:")
+    L.append(f"{indent}    IT._seq += 1; ITS.accesses += 1; "
+             f"ITE[{ipg}] = IT._seq")
+    L.append(f"{indent}    I1._seq += 1; I1ST.accesses += 1; "
+             f"I1ST.hits += 1; s2[{line}] = I1._seq")
+    L.append(f"{indent}    lr = t")
+    L.append(f"{indent}else:")
+    L.append(f"{indent}    lr = IF({line}, t) - {spec['il1']}")
+
+
+def _emit_fetch(L, j: int, line: int, prev_line: int, spec) -> None:
+    fw = spec["fw"]
+    if j > 0 and line == prev_line:
+        # Same line, mid-block: the redirect/line-ready waits are
+        # statically dead (see module docstring), leaving pure
+        # fetch-width accounting.
+        L.append("    fc += 1")
+        L.append(f"    if fc > {fw}:")
+        L.append("        fcyc += 1; fc = 1")
+        L.append("    t = fcyc")
+        return
+    L.append("    t = fcyc")
+    if j == 0:
+        L.append("    if rf0 > t: t = rf0")
+        L.append(f"    if {line} != cl:")
+        L.append(f"        cl = {line}")
+        _emit_iline(L, line, spec, "        ")
+    else:
+        # Consecutive pcs crossed an I-line boundary: statically a new
+        # line (cl == previous line != this one).
+        L.append(f"    cl = {line}")
+        _emit_iline(L, line, spec, "    ")
+    L.append("    if lr > t: t = lr")
+    L.append("    if t > fcyc:")
+    L.append("        fcyc = t; fc = 1")
+    L.append("    else:")
+    L.append("        fc += 1")
+    L.append(f"        if fc > {fw}:")
+    L.append("            fcyc += 1; fc = 1")
+    L.append("            t = fcyc")
+    L.append("            if lr > t: t = lr")
+
+
+def _emit_inst(L, pc: int, j: int, dec, m, spec, prev_line: int) -> None:
+    """One instruction's fused functional + timing stages."""
+    (line, is_mem, needs_rs2, frees, fu_occ, cdelta, excat,
+     rs1, rs2, rd, ctl, target, is_lds, _idx, wrkind) = m
+    hid = dec[0]
+
+    _emit_functional(L, pc, dec)
+    _emit_fetch(L, j, line, prev_line, spec)
+
+    # ---------------- dispatch ----------------
+    L.append(f"    dp = t + {spec['front']}")
+    L.append(f"    if _len(rob) >= {spec['window']}:")
+    L.append("        h = RP()")
+    L.append("        if h > dp: dp = h")
+    if is_mem:
+        L.append(f"    if _len(lsq) >= {spec['lsqn']}:")
+        L.append("        h = LP()")
+        L.append("        if h > dp: dp = h")
+
+    # ---------------- operand readiness ----------------
+    L.append(f"    rdy = dp + {_DISPATCH_EXTRA}")
+    L.append(f"    r = RR[{rs1}]")
+    L.append("    if r > rdy: rdy = r")
+    if needs_rs2:
+        L.append(f"    r = RR[{rs2}]")
+        L.append("    if r > rdy: rdy = r")
+
+    # ---------------- issue (width + FU, argmin-first) ----------------
+    if frees is not None:
+        fn_name, count = spec["fu"][id(frees)]
+        if count == 1:
+            L.append(f"    bt = {fn_name}[0]")
+            sel = f"{fn_name}[0]"
+        else:
+            L.append(f"    _f = {fn_name}")
+            L.append("    b = 0")
+            L.append("    bt = _f[0]")
+            for k in range(1, count):
+                L.append(f"    u = _f[{k}]")
+                L.append(f"    if u < bt: bt = u; b = {k}")
+            sel = "_f[b]"
+        L.append("    if bt > rdy: rdy = bt")
+        L.append("    c = IG(rdy, 0)")
+        L.append(f"    while c >= {spec['iw']}:")
+        L.append("        rdy += 1")
+        L.append("        c = IG(rdy, 0)")
+        L.append("    IA[rdy] = c + 1")
+        L.append(f"    {sel} = rdy + {fu_occ}")
+
+    # ---------------- execute ----------------
+    EX_LW, EX_SW, EX_PF, EX_ALLOC, EX_HALT = (
+        TimingModel._EX_LW, TimingModel._EX_SW, TimingModel._EX_PF,
+        TimingModel._EX_ALLOC, TimingModel._EX_HALT,
+    )
+    if excat == EX_LW:
+        L.append("    n10 += 1")
+        if is_lds:
+            L.append("    n12 += 1")
+        L.append("    st = rdy")
+        L.append("    if sa > st: st = sa")
+        if spec["hook"]:
+            if spec["hookgate"]:
+                # Non-adaptive hardware JPP: the hook no-ops unless the
+                # load is recurrent (and has somewhere to keep a
+                # jump-pointer), so the membership test replaces the call.
+                if spec["pads"][pc] > 0 or spec["onchip"]:
+                    L.append(f"    if {pc} in RPC: LI(_I[{pc}], a, st)")
+            else:
+                L.append(f"    LI(_I[{pc}], a, st)")
+        L.append("    fw = PG(a)")
+        L.append("    if fw is not None and fw[1] > st:")
+        L.append("        t0 = fw[0]")
+        L.append("        cm = (t0 if t0 > st else st) + 1")
+        if spec["perfect"]:
+            L.append("    else:")
+            L.append("        HS.loads += 1")
+            L.append("        cm = st + 1")
+        else:
+            # Inline the all-hit demand-load path (DTLB hit, no in-flight
+            # merge, L1 hit, line not prefetched): exactly the counters and
+            # LRU updates data_access() would make, without the calls.
+            L.append("    else:")
+            L.append(f"        pg = a >> {spec['pgs']}")
+            L.append(f"        ln = a & {spec['dlm']}")
+            L.append("        fw2 = IFG(ln)")
+            L.append(f"        s3 = D1S[(ln >> {spec['d1ls']}) & "
+                     f"{spec['d1sm']}]")
+            pfl = "" if spec["noeng"] else " and ln not in PFL"
+            L.append("        if (pg in DTE and ln in s3 and "
+                     f"(fw2 is None or fw2 <= st){pfl}):")
+            L.append("            HS.loads += 1")
+            L.append("            DT._seq += 1; DTS.accesses += 1; "
+                     "DTE[pg] = DT._seq")
+            L.append("            D1._seq += 1; D1ST.accesses += 1; "
+                     "D1ST.hits += 1; s3[ln] = D1._seq")
+            L.append(f"            cm = st + {spec['dl1lat']}")
+            L.append("        else:")
+            L.append(f"            cm = DA(a, st, False, {bool(is_lds)})")
+    elif excat == EX_SW:
+        L.append("    n11 += 1")
+        L.append("    if rdy > sa: sa = rdy")
+        L.append(f"    dr = RR[{rs2}]")
+        L.append("    cm = (dr if dr > rdy else rdy) + 1")
+    elif excat == EX_PF:
+        if not spec["noeng"]:  # the base engine's hook is a no-op
+            L.append(f"    SP_(_I[{pc}], a, rdy)")
+        L.append("    cm = rdy + 1")
+    elif excat == EX_ALLOC:
+        L.append(f"    cm = rdy + {spec['alloc']}")
+    elif excat == EX_HALT:
+        L.append("    cm = dp")
+    else:
+        L.append(f"    cm = rdy + {cdelta}")
+
+    # ---------------- control resolution ----------------
+    # The branch predictor is inlined: per-pc table indices are literals,
+    # and the BTB lookup-then-insert pair on a hit collapses to one final
+    # write with the sequence counter advanced by both touches.  Eviction
+    # (and first-touch insertion) falls back to ``_btb_insert``.
+    CTL_J, CTL_JAL, CTL_JR, CTL_COND = (
+        TimingModel._CTL_J, TimingModel._CTL_JAL, TimingModel._CTL_JR,
+        TimingModel._CTL_COND,
+    )
+
+    def emit_btb(var: str, ind: str = "    ") -> None:
+        si = pc % spec["btb_sets"]
+        tgt = _fmt(target)
+        L.append(f"{ind}s4 = BTB.get({si})")
+        L.append(f"{ind}e4 = None if s4 is None else s4.get({pc})")
+        L.append(f"{ind}if e4 is not None:")
+        L.append(f"{ind}    {var} = e4[0] == {tgt}")
+        L.append(f"{ind}    BP._btb_seq += 2")
+        L.append(f"{ind}    s4[{pc}] = ({tgt}, BP._btb_seq)")
+        L.append(f"{ind}else:")
+        L.append(f"{ind}    {var} = False")
+        L.append(f"{ind}    BI({pc}, {tgt})")
+
+    if ctl == CTL_COND:
+        bi, mi = pc & spec["bm"], pc & spec["mm"]
+        L.append("    BS.cond_branches += 1")
+        L.append("    hist = BP._history")
+        L.append(f"    gidx = ({pc} ^ (hist << 2)) & {spec['gm']}")
+        L.append(f"    bc = BT[{bi}]")
+        L.append("    gc = GT[gidx]")
+        L.append("    pg_ = gc >= 2")
+        L.append("    pb_ = bc >= 2")
+        L.append(f"    dok = (pg_ if MT[{mi}] >= 2 else pb_) == tk")
+        L.append("    if pg_ != pb_:")
+        L.append(f"        c0 = MT[{mi}]")
+        L.append("        if pg_ == tk:")
+        L.append(f"            if c0 < 3: MT[{mi}] = c0 + 1")
+        L.append("        elif c0 > 0:")
+        L.append(f"            MT[{mi}] = c0 - 1")
+        L.append("    if tk:")
+        L.append(f"        if bc < 3: BT[{bi}] = bc + 1")
+        L.append("        if gc < 3: GT[gidx] = gc + 1")
+        L.append(f"        BP._history = ((hist << 1) | 1) & {spec['hm']}")
+        L.append("    else:")
+        L.append(f"        if bc > 0: BT[{bi}] = bc - 1")
+        L.append("        if gc > 0: GT[gidx] = gc - 1")
+        L.append(f"        BP._history = (hist << 1) & {spec['hm']}")
+        L.append("    if not dok:")
+        L.append("        BS.cond_mispredicts += 1")
+        L.append("    if tk:")
+        emit_btb("tok", ind="        ")
+        L.append("        if not tok:")
+        L.append("            BS.btb_misses += 1")
+        L.append("    if not dok:")
+        L.append(f"        x = cm + {spec['mp']}")
+        L.append("        if x > rf0: rf0 = x")
+        L.append("    elif tk and not tok:")
+        L.append(f"        x = t + {spec['front']}")
+        L.append("        if x > rf0: rf0 = x")
+    elif ctl == CTL_J or ctl == CTL_JAL:
+        emit_btb("kn")
+        if ctl == CTL_JAL:
+            L.append(f"    if _len(RAS) >= {spec['rasn']}: del RAS[0]")
+            L.append(f"    RAS.append({pc + 1})")
+        L.append("    if not kn:")
+        L.append("        BS.btb_misses += 1")
+        L.append(f"        x = t + {spec['front']}")
+        L.append("        if x > rf0: rf0 = x")
+    elif ctl == CTL_JR:
+        L.append("    BS.returns += 1")
+        L.append("    if RAS:")
+        L.append("        dok = RAS.pop() == v")
+        L.append("    else:")
+        L.append("        dok = False")
+        L.append("    if not dok:")
+        L.append("        BS.return_mispredicts += 1")
+        L.append(f"        x = cm + {spec['mp']}")
+        L.append("        if x > rf0: rf0 = x")
+
+    # ---------------- commit (in order, width-limited) ----------------
+    L.append("    ct = cm if cm > lc else lc")
+    L.append("    if ct > cc:")
+    L.append("        cc = ct; ck = 1")
+    L.append("    else:")
+    L.append("        ck += 1")
+    L.append(f"        if ck > {spec['cw']}:")
+    L.append("            cc += 1; ck = 1")
+    L.append("        ct = cc")
+    L.append("    lc = ct")
+    L.append("    RA(ct)")
+    if is_mem:
+        L.append("    LA(ct)")
+
+    # ---------------- post-commit effects ----------------
+    WR_NONE, WR_ADDI, WR_ADD = (
+        TimingModel._WR_NONE, TimingModel._WR_ADDI, TimingModel._WR_ADD,
+    )
+    if excat == EX_SW:
+        L.append("    TS(a, v)")
+        L.append("    PS[a] = (cm, ct)")
+        L.append("    if _len(PS) > 8192:")
+        L.append("        _p = [(k2, w2) for k2, w2 in PS.items() "
+                 "if w2[1] > ct]")
+        L.append("        PS.clear()")
+        L.append("        PS.update(_p)")
+        if spec["perfect"]:
+            L.append("    HS.stores += 1")
+        else:
+            # Same inline all-hit path for the commit-time store access
+            # (write=True additionally dirties the line; the return value
+            # is unused).
+            L.append(f"    pg = a >> {spec['pgs']}")
+            L.append(f"    ln = a & {spec['dlm']}")
+            L.append("    fw2 = IFG(ln)")
+            L.append(f"    s3 = D1S[(ln >> {spec['d1ls']}) & {spec['d1sm']}]")
+            pfl = "" if spec["noeng"] else " and ln not in PFL"
+            L.append("    if (pg in DTE and ln in s3 and "
+                     f"(fw2 is None or fw2 <= ct){pfl}):")
+            L.append("        HS.stores += 1")
+            L.append("        DT._seq += 1; DTS.accesses += 1; "
+                     "DTE[pg] = DT._seq")
+            L.append("        D1._seq += 1; D1ST.accesses += 1; "
+                     "D1ST.hits += 1; s3[ln] = D1._seq")
+            L.append("        D1D.add(ln)")
+            L.append("    else:")
+            L.append("        DA(a, ct, True)")
+    elif excat == EX_LW:
+        if spec["track"]:
+            cgate = spec["cgate"]
+            if cgate:
+                # DBP-family commit hook: a complete no-op unless there is
+                # a producer to learn from, a pointer value to chase, or
+                # (hardware JPP) a recurrent load with jump-pointer room.
+                cond = (f"(ppc is not None and isinstance(SVL[{rs1}], int))"
+                        " or (isinstance(v, int) and v)")
+                if cgate == 2 and (spec["pads"][pc] > 0 or spec["onchip"]):
+                    cond += f" or {pc} in RPC"
+                L.append(f"    ppc = SPC[{rs1}]")
+                L.append(f"    if {cond}:")
+                L.append(f"        LC_(_I[{pc}], a, v, cm, ppc, SVL[{rs1}])")
+            else:
+                L.append(f"    LC_(_I[{pc}], a, v, cm, SPC[{rs1}], SVL[{rs1}])")
+            L.append(f"    SPC[{rd}] = {pc}")
+            L.append(f"    SVL[{rd}] = v")
+        L.append(f"    RR[{rd}] = cm")
+    elif wrkind != WR_NONE:
+        L.append(f"    RR[{rd}] = cm")
+        if spec["track"]:
+            if wrkind == WR_ADDI:
+                L.append(f"    SPC[{rd}] = SPC[{rs1}]")
+                L.append(f"    SVL[{rd}] = SVL[{rs1}]")
+            elif wrkind == WR_ADD:
+                L.append(f"    if SPC[{rs1}] is not None:")
+                L.append(f"        SPC[{rd}] = SPC[{rs1}]")
+                L.append(f"        SVL[{rd}] = SVL[{rs1}]")
+                L.append("    else:")
+                L.append(f"        SPC[{rd}] = SPC[{rs2}]")
+                L.append(f"        SVL[{rd}] = SVL[{rs2}]")
+            else:
+                L.append(f"    SPC[{rd}] = None")
+                L.append(f"    SVL[{rd}] = None")
+
+    # ---------------- bookkeeping + issued_at prune ----------------
+    L.append("    n9 += 1")
+    L.append(f"    if not n9 % {_ISSUED_AT_PRUNE_INTERVAL} and "
+             f"_len(IA) > {_ISSUED_AT_PRUNE_THRESHOLD}:")
+    L.append(f"        fl = dp - {spec['w4']}")
+    L.append("        _p = [(c2, k2) for c2, k2 in IA.items() if c2 >= fl]")
+    L.append("        IA.clear()")
+    L.append("        IA.update(_p)")
+
+
+def gen_fused_source(code, meta, pc0: int, cap: int, spec) -> tuple[str, int]:
+    """Fused functional+timing source for the block led by ``pc0``."""
+    end = block_span(code, pc0, cap)
+    L = [f"def _blk({_PARAMS}):", _PROLOGUE]
+    prev_line = -1
+    for j, pc in enumerate(range(pc0, end)):
+        _emit_inst(L, pc, j, code[pc], meta[pc], spec, prev_line)
+        prev_line = meta[pc][0]
+    last = code[end - 1][0]
+    if last in _COND_OP:
+        tgt = code[end - 1][5]
+        L.append(f"    nx = {_fmt(tgt)} if tk else {end}")
+    elif last == _H_JR:
+        L.append("    nx = v")
+    elif last == _H_HALT:
+        L.append("    nx = None")
+    elif last in (_H_J, _H_JAL):
+        L.append(f"    nx = {_fmt(code[end - 1][5])}")
+    else:
+        L.append(f"    nx = {end}")  # cap hit: fall through
+    L.append(_WRITEBACK)
+    L.append("    return nx")
+    return "\n".join(L) + "\n", end - pc0
+
+
+def run_compiled(model: TimingModel) -> SimResult:
+    """Run ``model``'s program to completion on the fused fast path.
+
+    Only legal when no telemetry/auditor/profiler is attached (enforced
+    here; :meth:`TimingModel.run` routes observed runs to the plain
+    loop).  Returns the same :class:`SimResult` the plain loop would.
+    """
+    assert model.telemetry is None and model.auditor is None \
+        and model.profiler is None, "fused path cannot host observers"
+    program = model.program
+    cfg = model.cfg
+    engine = model.engine
+    hierarchy = model.hierarchy
+    bpred = model.bpred
+    fu_cfg = cfg.func_units
+
+    # Functional state (the interpreter half of the fusion).
+    registers: list[int | float] = [0] * NUM_REGS
+    registers[SP] = program.stack_top
+    memory = MemoryImage(program.initial_memory)
+    allocator = SizeClassAllocator(program.heap_base)
+
+    # Timing state — one-to-one with TimingModel.run()'s locals.
+    reg_ready = [0] * NUM_REGS
+    track_dataflow = engine.needs_dataflow
+    src_pc: list[int | None] = [None] * NUM_REGS
+    src_val: list[int | float | None] = [None] * NUM_REGS
+    issue_hook = engine.needs_issue_hook
+    rob: deque[int] = deque()
+    lsq: deque[int] = deque()
+    iline_mask = ~(cfg.il1.line - 1)
+    issued_at: dict[int, int] = {}
+    fu_free: dict[int, list[int]] = {
+        FuClass.INT_ALU: [0] * fu_cfg.int_alu,
+        FuClass.INT_MUL: [0] * fu_cfg.int_mul,
+        FuClass.INT_DIV: [0] * fu_cfg.int_div,
+        FuClass.FP_ADD: [0] * fu_cfg.fp_add,
+        FuClass.FP_MUL: [0] * fu_cfg.fp_mul,
+        FuClass.FP_DIV: [0] * fu_cfg.fp_div,
+        FuClass.MEM_PORT: [0] * fu_cfg.mem_ports,
+    }
+    fu_latency = {
+        FuClass.INT_ALU: fu_cfg.int_alu_latency,
+        FuClass.INT_MUL: fu_cfg.int_mul_latency,
+        FuClass.INT_DIV: fu_cfg.int_div_latency,
+        FuClass.FP_ADD: fu_cfg.fp_add_latency,
+        FuClass.FP_MUL: fu_cfg.fp_mul_latency,
+        FuClass.FP_DIV: fu_cfg.fp_div_latency,
+        FuClass.MEM_PORT: fu_cfg.mem_port_latency,
+    }
+    meta = model._instruction_meta(fu_free, fu_latency, iline_mask)
+    pending_stores: dict[int, tuple[int, int]] = {}
+
+    code = decode_program(program)
+    n = len(code)
+    S = [0] * 13
+    S[_S_LINE] = -1  # cur_line sentinel
+
+    fu_names = {id(lst): (f"F{int(fu)}", len(lst)) for fu, lst in fu_free.items()}
+    spec = {
+        "fw": cfg.fetch_width,
+        "front": cfg.front_pipeline_depth,
+        "il1": cfg.il1.latency,
+        "window": cfg.window,
+        "lsqn": cfg.lsq_entries,
+        "iw": cfg.issue_width,
+        "cw": cfg.commit_width,
+        "mp": cfg.branch_pred.misprediction_penalty,
+        "alloc": cfg.alloc_latency,
+        "w4": 4 * cfg.window,
+        "track": track_dataflow,
+        "hook": issue_hook,
+        "fu": fu_names,
+        # Memory-hierarchy fast-path geometry (all codegen-time literals).
+        "perfect": cfg.perfect_data_memory,
+        "pgs": cfg.dtlb.page_size.bit_length() - 1,
+        "dlm": ~(cfg.dl1.line - 1),
+        "d1ls": cfg.dl1.line.bit_length() - 1,
+        "d1sm": cfg.dl1.sets - 1,
+        "dl1lat": cfg.dl1.latency,
+        "ipgs": cfg.itlb.page_size.bit_length() - 1,
+        "i1ls": cfg.il1.line.bit_length() - 1,
+        "i1sm": cfg.il1.sets - 1,
+        # Branch-predictor geometry (table masks are codegen literals).
+        "bm": cfg.branch_pred.bimodal_entries - 1,
+        "gm": cfg.branch_pred.gshare_entries - 1,
+        "mm": cfg.branch_pred.meta_entries - 1,
+        "hm": (1 << cfg.branch_pred.history_bits) - 1,
+        "btb_sets": cfg.branch_pred.btb_entries // cfg.branch_pred.btb_assoc,
+        "rasn": cfg.branch_pred.ras_entries,
+        # True when the prefetch engine is the no-op base class: no line is
+        # ever prefetched, so the ``_pf_lines`` check can be elided.
+        "noeng": type(engine) is PrefetchEngine,
+        # Engine-hook gating (see _emit_inst): exact classes only, so any
+        # subclassed engine falls back to unconditional hook calls.
+        "hookgate": (type(engine) is HardwareJPPEngine
+                     and not engine.pcfg.adaptive_interval),
+        "cgate": (2 if type(engine) is HardwareJPPEngine
+                  else 1 if type(engine) is DBPEngine else 0),
+        "onchip": (engine.storage.onchip
+                   if isinstance(engine, HardwareJPPEngine) else False),
+        "pads": tuple(inst.pad for inst in program.instructions),
+    }
+    fu_counts = tuple(len(lst) for lst in fu_free.values())
+    fu_lats = tuple(fu_latency.values())
+    sig_tail = (
+        cfg.fetch_width, cfg.front_pipeline_depth, cfg.il1.line,
+        cfg.il1.latency, cfg.il1.sets, cfg.window, cfg.lsq_entries,
+        cfg.issue_width, cfg.commit_width,
+        cfg.branch_pred.misprediction_penalty, cfg.alloc_latency,
+        fu_counts, fu_lats, track_dataflow, issue_hook,
+        cfg.perfect_data_memory, cfg.dtlb.page_size, cfg.dl1.line,
+        cfg.dl1.sets, cfg.dl1.latency, cfg.itlb.page_size,
+        cfg.branch_pred.bimodal_entries, cfg.branch_pred.gshare_entries,
+        cfg.branch_pred.meta_entries, cfg.branch_pred.history_bits,
+        cfg.branch_pred.btb_entries, cfg.branch_pred.btb_assoc,
+        cfg.branch_pred.ras_entries, spec["noeng"],
+        spec["hookgate"], spec["cgate"], spec["onchip"],
+    )
+    max_block = jit_max_block()
+    cache = decode_memo(program, ("fused", max_block) + sig_tail)
+    stub_cache = decode_memo(program, ("fused", 1) + sig_tail)
+
+    env = {
+        "S": S, "R": registers, "M": memory._words,
+        "MG": memory._words.get, "AL": allocator.alloc,
+        "_I": program.instructions, "XE": ExecutionError, "SQ": math.sqrt,
+        "RR": reg_ready, "rob": rob, "lsq": lsq,
+        "RA": rob.append, "LA": lsq.append,
+        "RP": rob.popleft, "LP": lsq.popleft,
+        "IA": issued_at, "IG": issued_at.get,
+        "PS": pending_stores, "PG": pending_stores.get,
+        "DA": hierarchy.data_access, "IF": hierarchy.inst_fetch,
+        "TS": model.timing_mem.store,
+        # Branch-predictor internals for the inline prediction fast path.
+        "BP": bpred, "BS": bpred.stats,
+        "BT": bpred._bimodal._table, "GT": bpred._gshare._table,
+        "MT": bpred._meta._table, "BTB": bpred._btb, "RAS": bpred._ras,
+        "BI": bpred._btb_insert,
+        "LI": engine.on_load_issue, "LC_": engine.on_load_commit,
+        "SP_": engine.on_sw_prefetch,
+        "RPC": getattr(engine, "recurrent_pcs", None),
+        "SPC": src_pc, "SVL": src_val, "_len": len,
+        # Hierarchy internals for the inline hit fast paths.
+        "HS": hierarchy.stats,
+        "DT": hierarchy.dtlb, "DTS": hierarchy.dtlb.stats,
+        "DTE": hierarchy.dtlb._entries,
+        "D1": hierarchy.dl1, "D1ST": hierarchy.dl1.stats,
+        "D1S": hierarchy.dl1._sets, "D1D": hierarchy.dl1._dirty,
+        "PFL": hierarchy._pf_lines, "IFG": hierarchy._inflight.get,
+        "IT": hierarchy.itlb, "ITS": hierarchy.itlb.stats,
+        "ITE": hierarchy.itlb._entries,
+        "I1": hierarchy.il1, "I1ST": hierarchy.il1.stats,
+        "I1S": hierarchy.il1._sets,
+    }
+    for fu, lst in fu_free.items():
+        env[f"F{int(fu)}"] = lst
+
+    def bind(pc: int, store: dict, cap: int):
+        entry = store.get(pc)
+        if entry is None:
+            src, bl = gen_fused_source(code, meta, pc, cap, spec)
+            cobj = compile(src, f"<fusedjit:{program.name}:{pc}>", "exec")
+            entry = store[pc] = (cobj, bl)
+        cobj, bl = entry
+        exec(cobj, env)
+        return (env.pop("_blk"), bl)
+
+    blocks: list = [None] * n
+    stubs: list = [None] * n
+    counts = [0] * n
+    threshold = jit_threshold()
+    max_steps = (
+        _DEFAULT_MAX_STEPS if model._max_steps is None else model._max_steps
+    )
+    pc = program.entry
+    steps = 0
+
+    while True:
+        if not 0 <= pc < n:
+            raise ExecutionError(f"pc {pc} outside text segment (0..{n - 1})")
+        blk = blocks[pc]
+        if blk is None:
+            c = counts[pc] + 1
+            counts[pc] = c
+            if c >= threshold:
+                blk = blocks[pc] = bind(pc, cache, max_block)
+            else:
+                blk = stubs[pc]
+                if blk is None:
+                    blk = stubs[pc] = bind(pc, stub_cache, 1)
+        fn, bl = blk
+        if steps + bl > max_steps:
+            if steps >= max_steps:
+                raise ExecutionError(
+                    f"instruction budget exceeded ({max_steps}); likely an "
+                    f"infinite loop at pc {pc}"
+                )
+            blk = stubs[pc]
+            if blk is None:
+                blk = stubs[pc] = bind(pc, stub_cache, 1)
+            fn, bl = blk
+        nxt = fn()
+        steps += bl
+        if nxt is None:
+            break
+        pc = nxt
+
+    h = hierarchy
+    return SimResult(
+        cycles=S[_S_LC],
+        instructions=S[_S_NC],
+        loads=S[_S_NL],
+        stores=S[_S_NS],
+        lds_loads=S[_S_NLDS],
+        branch=bpred.stats,
+        hierarchy=h.stats,
+        engine=engine.stats,
+        l1d_accesses=h.dl1.stats.accesses,
+        l1d_misses=h.dl1.stats.misses,
+        l2_accesses=h.l2.stats.accesses,
+        l2_misses=h.l2.stats.misses,
+        dtlb_misses=h.dtlb.stats.misses,
+        engine_name=engine.name,
+        telemetry=None,
+        profile=None,
+    )

@@ -29,6 +29,7 @@ def simulate(
     audit=None,
     interpreter_factory=None,
     profile=None,
+    sim_engine: str | None = None,
 ) -> SimResult:
     """Run ``program`` on the simulated machine; returns a
     :class:`~repro.cpu.stats.SimResult`.
@@ -42,7 +43,11 @@ def simulate(
     every commit-front advance to a CPI-stack bucket (the serialized
     profile lands in ``SimResult.profile``); ``interpreter_factory``
     substitutes the functional interpreter (the differential validator
-    passes :class:`repro.audit.diff.ReferenceInterpreter` here)."""
+    passes :class:`repro.audit.diff.ReferenceInterpreter` here);
+    ``sim_engine`` selects the execution implementation by registry name
+    (``table``/``reference``/``compiled``, :mod:`repro.isa.engines`) —
+    ``None`` defers to ``$REPRO_SIM_ENGINE`` and then the ``table``
+    default, and every engine is bit-identical."""
     cfg = cfg or MachineConfig()
     if isinstance(engine, str):
         engine = make_engine(engine, cfg)
@@ -56,6 +61,7 @@ def simulate(
         audit=audit,
         interpreter_factory=interpreter_factory,
         profile=profile,
+        sim_engine=sim_engine,
     )
     return model.run()
 
@@ -85,9 +91,12 @@ def simulate_decomposed(
     cfg: MachineConfig | None = None,
     engine: str = "none",
     max_steps: int | None = None,
+    sim_engine: str | None = None,
 ) -> tuple[SimResult, Decomposition]:
     """Realistic + compute-time pair of simulations for one configuration."""
     cfg = cfg or MachineConfig()
-    real = simulate(program, cfg, engine=engine, max_steps=max_steps)
-    compute = simulate(program, cfg.perfect(), engine="none", max_steps=max_steps)
+    real = simulate(program, cfg, engine=engine, max_steps=max_steps,
+                    sim_engine=sim_engine)
+    compute = simulate(program, cfg.perfect(), engine="none",
+                       max_steps=max_steps, sim_engine=sim_engine)
     return real, Decomposition(total=real.cycles, compute=compute.cycles)

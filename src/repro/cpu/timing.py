@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import deque
 
 from ..config import MachineConfig
+from ..isa.engines import resolve_sim_engine
 from ..isa.instruction import Instruction
 from ..isa.interpreter import Interpreter
 from ..isa.opcodes import FU_CLASS, FuClass, Op
@@ -82,6 +83,7 @@ class TimingModel:
         audit=None,
         interpreter_factory=None,
         profile=None,
+        sim_engine: str | None = None,
     ) -> None:
         self.attribute_stalls = attribute_stalls
         self.auditor = audit
@@ -91,6 +93,22 @@ class TimingModel:
 
             profile = Profiler()
         self.profiler = profile
+        # Simulation-engine dispatch: ``table``/``reference``/``compiled``
+        # (or $REPRO_SIM_ENGINE when unset) pick how the program executes;
+        # results are bit-identical either way.  The fused fast path only
+        # engages when nothing observes per-instruction state and the
+        # caller has not substituted its own interpreter.
+        se = resolve_sim_engine(sim_engine)
+        self.sim_engine = se.name
+        self._fused = (
+            se.fused
+            and interpreter_factory is None
+            and telemetry is None
+            and audit is None
+            and self.profiler is None
+        )
+        if not self._fused and interpreter_factory is None and se.name != "table":
+            self._interpreter_factory = se.factory()
         self.program = program
         self.cfg = cfg
         self.telemetry = telemetry
@@ -201,6 +219,11 @@ class TimingModel:
         return meta
 
     def run(self) -> SimResult:
+        if self._fused:
+            # Import here: repro.cpu.compiled imports this module.
+            from .compiled import run_compiled
+
+            return run_compiled(self)
         cfg = self.cfg
         engine = self.engine
         hierarchy = self.hierarchy

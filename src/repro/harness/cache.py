@@ -8,6 +8,9 @@ SHA-256 key over the *complete* set of inputs that determine its outcome:
   overrides from experiment spec files just like hand-built configs,
 * the workload name, its parameters, and the program variant,
 * the prefetch engine name,
+* the simulation-engine name (``table``/``reference``/``compiled``) —
+  engines are bit-identical, but the key stays honest about which
+  implementation produced an entry,
 * a fingerprint of the simulator source code (every ``.py`` file in the
   packages that influence simulation results), so any change to the ISA,
   memory, CPU, prefetch, or workload code invalidates prior entries while
@@ -99,6 +102,7 @@ def canonical_spec(spec: "RunSpec") -> dict[str, Any]:
         "engine": spec.engine,
         "kind": spec.kind,
         "profile": spec.profile,
+        "sim_engine": spec.sim_engine,
         "config": spec.cfg.to_dict(),
         "code": code_fingerprint(),
     }

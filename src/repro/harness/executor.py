@@ -62,6 +62,7 @@ from ..core.characterization import characterize
 from ..cpu.simulator import simulate
 from ..cpu.stats import SimResult
 from ..errors import ReproError
+from ..isa.engines import default_sim_engine
 from ..obs import MetricRegistry
 from ..workloads import get_workload
 from .cache import ResultCache
@@ -109,6 +110,13 @@ class RunSpec:
     ``SimResult.profile`` (and therefore into the result cache — the flag
     is part of the cache key, so profiled and unprofiled runs never serve
     each other's entries).
+
+    ``sim_engine`` is the simulation-engine registry name executing the
+    cell (:mod:`repro.isa.engines`); :meth:`make` resolves the session
+    default (``$REPRO_SIM_ENGINE``, else ``table``) eagerly so the cell
+    identity — and with it the cache key — always names a concrete
+    engine.  Engines are bit-identical, but keeping the key honest means
+    a cached result always states which implementation produced it.
     """
 
     benchmark: str
@@ -118,6 +126,7 @@ class RunSpec:
     params: tuple[tuple[str, Any], ...] = ()
     kind: str = "sim"
     profile: bool = False
+    sim_engine: str = "table"
 
     @classmethod
     def make(
@@ -129,10 +138,11 @@ class RunSpec:
         params: dict[str, Any] | None = None,
         kind: str = "sim",
         profile: bool = False,
+        sim_engine: str | None = None,
     ) -> "RunSpec":
         return cls(
             benchmark, variant, engine, cfg, _freeze_params(params), kind,
-            profile,
+            profile, sim_engine or default_sim_engine(),
         )
 
     @property
@@ -146,6 +156,8 @@ class RunSpec:
         tag = " (compute)" if self.cfg.perfect_data_memory else ""
         if self.profile:
             tag += " +profile"
+        if self.sim_engine != "table":
+            tag += f" [{self.sim_engine}]"
         return f"{label} x {self.engine}{tag}"
 
 
@@ -190,7 +202,8 @@ def _run_cell(
             from ..obs.profile import Profiler
 
             profiler = Profiler()
-        result = simulate(program, spec.cfg, engine=spec.engine, profile=profiler)
+        result = simulate(program, spec.cfg, engine=spec.engine,
+                          profile=profiler, sim_engine=spec.sim_engine)
         return ("ok", result)
     except Exception as exc:
         return ("error", type(exc).__name__, traceback.format_exc())
@@ -667,12 +680,14 @@ class SweepPlan:
         idiom: str | None = None,
         cfg: MachineConfig | None = None,
         profile: bool = False,
+        sim_engine: str | None = None,
     ) -> ScheduledRun:
         cfg = cfg or self.cfg
         workload = get_workload(benchmark, **(params or {}))
         variant, engine = scheme_plan(workload, scheme, idiom)
         return self._schedule(
-            benchmark, scheme, variant, engine, params, cfg, profile
+            benchmark, scheme, variant, engine, params, cfg, profile,
+            sim_engine,
         )
 
     def add_variant_run(
@@ -683,12 +698,13 @@ class SweepPlan:
         params: dict[str, Any] | None = None,
         cfg: MachineConfig | None = None,
         profile: bool = False,
+        sim_engine: str | None = None,
     ) -> ScheduledRun:
         """Arbitrary variant/engine pairing (Figure 4 idiom comparison)."""
         cfg = cfg or self.cfg
         return self._schedule(
             benchmark, f"{engine}:{variant}", variant, engine, params, cfg,
-            profile,
+            profile, sim_engine,
         )
 
     def add_table1(
@@ -696,11 +712,12 @@ class SweepPlan:
         benchmark: str,
         params: dict[str, Any] | None = None,
         cfg: MachineConfig | None = None,
+        sim_engine: str | None = None,
     ) -> RunSpec:
         return self.add(
             RunSpec.make(
                 benchmark, "baseline", "none", cfg or self.cfg, params,
-                kind="table1",
+                kind="table1", sim_engine=sim_engine,
             )
         )
 
@@ -713,15 +730,17 @@ class SweepPlan:
         params: dict[str, Any] | None,
         cfg: MachineConfig,
         profile: bool = False,
+        sim_engine: str | None = None,
     ) -> ScheduledRun:
         # Only the timing cell is profiled; compute-time cells stay
         # shareable across profiled and unprofiled experiments.
         timing = self.add(
             RunSpec.make(benchmark, variant, engine, cfg, params,
-                         profile=profile)
+                         profile=profile, sim_engine=sim_engine)
         )
         compute = self.add(
-            RunSpec.make(benchmark, variant, "none", cfg.perfect(), params)
+            RunSpec.make(benchmark, variant, "none", cfg.perfect(), params,
+                         sim_engine=sim_engine)
         )
         return ScheduledRun(benchmark, scheme, variant, timing, compute)
 

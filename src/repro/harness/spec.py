@@ -22,6 +22,7 @@ Spec documents have this shape (TOML shown; JSON is isomorphic)::
     machine = "bench"                # a repro.config.MACHINES name
     # overrides = {"dl1.size" = 16384}   # dotted-path machine tweaks
     # profile = true                 # CPI-stack profiler on every timing cell
+    # engine = "compiled"            # simulation engine (table/reference/compiled)
 
     workloads = ["health"]           # strings or [[workloads]] tables
     schemes = ["base", "software", "cooperative", "hardware", "dbp"]
@@ -238,10 +239,24 @@ class ExperimentSpec:
     """Attach a :class:`repro.obs.Profiler` to every timing cell: each
     cell's CPI stack / hot-site table rides into the result cache with
     its ``SimResult`` (``profile = true`` in the spec file)."""
+    engine: str = ""
+    """Simulation engine executing every cell (``engine = "compiled"``
+    in the spec file): a :data:`repro.isa.engines.SIM_ENGINES` name, or
+    empty to defer to ``$REPRO_SIM_ENGINE`` / the ``table`` default.
+    Orthogonal to ``schemes`` (which pick *prefetch* engines) — every
+    simulation engine yields bit-identical rows."""
 
     def __post_init__(self) -> None:
         if not self.name:
             raise SpecError("experiment spec has no name")
+        if self.engine:
+            from ..isa.engines import SIM_ENGINES
+
+            if self.engine not in SIM_ENGINES:
+                raise SpecError(
+                    f"unknown simulation engine {self.engine!r}; "
+                    f"available: {SIM_ENGINES.names()}"
+                )
         if self.kind not in ("matrix", "table1"):
             raise SpecError(
                 f"unknown spec kind {self.kind!r}; choose 'matrix' or 'table1'"
@@ -288,6 +303,8 @@ class ExperimentSpec:
             d["label_key"] = self.label_key
         if self.profile:
             d["profile"] = True
+        if self.engine:
+            d["engine"] = self.engine
         return d
 
     @classmethod
@@ -296,7 +313,7 @@ class ExperimentSpec:
             raise SpecError(f"spec must be a mapping, got {type(data).__name__}")
         _reject_unknown("spec", data, {
             "name", "title", "kind", "machine", "overrides", "workloads",
-            "schemes", "axes", "columns", "label_key", "profile",
+            "schemes", "axes", "columns", "label_key", "profile", "engine",
         })
         return cls(
             name=data.get("name", ""),
@@ -312,6 +329,7 @@ class ExperimentSpec:
             columns=tuple(data.get("columns", ())),
             label_key=data.get("label_key", "scheme"),
             profile=bool(data.get("profile", False)),
+            engine=data.get("engine", ""),
         )
 
     # -- convenient variations ----------------------------------------
@@ -473,7 +491,8 @@ def compile_spec(
         for sel in spec.workloads:
             params = {**sel.params, **param_over}
             if spec.kind == "table1":
-                cell = plan.add_table1(sel.name, params, cfg=point_cfg)
+                cell = plan.add_table1(sel.name, params, cfg=point_cfg,
+                                       sim_engine=spec.engine or None)
                 rows.append(_PlannedRow(
                     sel.name, "characterize", axis_values, cell=cell
                 ))
@@ -481,12 +500,12 @@ def compile_spec(
             if sel.idioms:
                 rows.extend(_plan_idiom_rows(
                     plan, sel, params, point_cfg, axis_values,
-                    profile=spec.profile,
+                    profile=spec.profile, sim_engine=spec.engine or None,
                 ))
             else:
                 rows.extend(_plan_scheme_rows(
                     plan, sel, schemes, params, point_cfg, axis_values,
-                    profile=spec.profile,
+                    profile=spec.profile, sim_engine=spec.engine or None,
                 ))
     return CompiledSpec(spec, base_cfg, plan, rows)
 
@@ -499,16 +518,18 @@ def _plan_scheme_rows(
     cfg: MachineConfig,
     axis_values: dict[str, Any],
     profile: bool = False,
+    sim_engine: str | None = None,
 ) -> list[_PlannedRow]:
     per_scheme = {
         s: plan.add_run(sel.name, s, params, idiom=sel.idiom, cfg=cfg,
-                        profile=profile)
+                        profile=profile, sim_engine=sim_engine)
         for s in schemes
     }
     # Normalization needs the baseline even when it is not displayed;
     # deduplication makes this free when "base" is already in schemes.
     base_sr = per_scheme.get("base") or plan.add_run(
-        sel.name, "base", params, cfg=cfg, profile=profile
+        sel.name, "base", params, cfg=cfg, profile=profile,
+        sim_engine=sim_engine,
     )
     return [
         _PlannedRow(sel.name, s, axis_values, run=per_scheme[s], base=base_sr)
@@ -523,11 +544,13 @@ def _plan_idiom_rows(
     cfg: MachineConfig,
     axis_values: dict[str, Any],
     profile: bool = False,
+    sim_engine: str | None = None,
 ) -> list[_PlannedRow]:
     """Figure-4 expansion: the base run plus every available
     ``impl:idiom`` variant of the listed idioms."""
     workload = get_workload(sel.name, **params)
-    base_sr = plan.add_run(sel.name, "base", params, cfg=cfg, profile=profile)
+    base_sr = plan.add_run(sel.name, "base", params, cfg=cfg, profile=profile,
+                           sim_engine=sim_engine)
     rows = [_PlannedRow(
         sel.name, "base", axis_values, run=base_sr, base=base_sr
     )]
@@ -538,7 +561,8 @@ def _plan_idiom_rows(
             if variant not in workload.variants:
                 continue
             vsr = plan.add_variant_run(sel.name, variant, engine, params,
-                                       cfg=cfg, profile=profile)
+                                       cfg=cfg, profile=profile,
+                                       sim_engine=sim_engine)
             rows.append(_PlannedRow(
                 sel.name, variant, axis_values, run=vsr, base=base_sr,
                 base_fallback="baseline run failed",

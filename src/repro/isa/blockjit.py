@@ -1,0 +1,406 @@
+"""Block-compiling functional interpreter (template JIT) for the mini-ISA.
+
+The decode-table interpreter pays a generator suspension, a tuple unpack
+and a handler-id comparison chain for every dynamic instruction.  This
+module removes all three for straight-line code: it discovers basic
+blocks in the decoded stream lazily (any pc entered at run time is a
+leader; the block extends to the first control transfer or the
+``max_block`` cap) and compiles each block once into a single Python
+function — a *superinstruction* — whose body is the specialized source
+for every instruction in the block with register indices, immediates and
+branch targets baked in as literals.  Executing a block is then one
+Python call: no dispatch, no unpacking, locals-bound state.
+
+Semantics are bit-identical to :class:`~repro.isa.interpreter.Interpreter`
+by construction — each generated line is the corresponding handler body
+with the decode-time constants substituted, in the same order (operate,
+zero-register clear, emit record), raising the same
+:class:`~repro.errors.ExecutionError` messages at the same dynamic
+instruction.  The differential validator (:mod:`repro.audit.diff`) and
+the golden-cycle pins enforce this.
+
+Warmup: blocks entered fewer than ``threshold`` times execute through
+single-instruction *stubs* (length-1 compiled blocks — semantically the
+plain interpreter loop), so cold code never pays multi-instruction
+compile cost.  Knobs: ``REPRO_JIT_THRESHOLD`` (default 8, 1 = compile on
+first entry) and ``REPRO_JIT_MAX_BLOCK`` (default 32).
+
+Compiled code objects are cached on the :class:`Program` via
+:func:`~repro.isa.interpreter.decode_memo` under keys that include the
+engine kind and block cap, so repeated simulations of one program (a
+scheme matrix, a sweep) compile each block once; only the cheap
+``exec``-rebind of per-run state happens per run.
+
+One observable difference is documented rather than hidden: the
+interpreter executes a whole block before yielding its records, so a
+consumer that abandons the stream mid-block leaves ``steps`` counting up
+to ``max_block - 1`` instructions past the last yielded record (they
+really did execute).  Fully-consumed streams — everything the timing
+model, the validator and the golden pins do — see identical ``steps``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Iterator
+
+from ..errors import ExecutionError
+from ..mem.allocator import SizeClassAllocator
+from ..mem.memory_image import MemoryImage
+from .interpreter import (
+    _DEFAULT_MAX_STEPS,
+    _H_ADD, _H_ADDI, _H_ALLOC, _H_AND, _H_ANDI, _H_BEQ, _H_BGE, _H_BLT,
+    _H_BNE, _H_DIV, _H_F2I, _H_FABS, _H_FDIV, _H_FEQ, _H_FLE, _H_FNEG,
+    _H_FSQRT, _H_HALT, _H_I2F, _H_J, _H_JAL, _H_JR, _H_LW, _H_MUL,
+    _H_NOP, _H_OR, _H_ORI, _H_PF, _H_REM, _H_SLL, _H_SLLI, _H_SLT,
+    _H_SLTI, _H_SLTU, _H_SRL, _H_SRLI, _H_SUB, _H_SW, _H_XOR, _H_XORI,
+    DynRecord,
+    decode_memo,
+    decode_program,
+)
+from .program import Program
+from .registers import NUM_REGS, SP
+
+__all__ = [
+    "CompiledInterpreter",
+    "block_span",
+    "jit_max_block",
+    "jit_threshold",
+]
+
+#: Handler ids that end a basic block (control transfer or halt).
+_CONTROL_HIDS = frozenset((
+    _H_BNE, _H_BEQ, _H_BLT, _H_BGE, _H_J, _H_JAL, _H_JR, _H_HALT,
+))
+
+#: Conditional-branch comparison operators by handler id.
+_COND_OP = {_H_BNE: "!=", _H_BEQ: "==", _H_BLT: "<", _H_BGE: ">="}
+
+#: Plain register-write ALU ops: handler id -> RHS expression template.
+#: Each template is the corresponding Interpreter handler body verbatim
+#: with the decoded fields as format placeholders.
+_ALU_EXPR = {
+    _H_ADDI: "R[{r1}] + {imm}",
+    _H_ADD: "R[{r1}] + R[{r2}]",
+    _H_SUB: "R[{r1}] - R[{r2}]",
+    _H_MUL: "R[{r1}] * R[{r2}]",
+    _H_SLT: "1 if R[{r1}] < R[{r2}] else 0",
+    _H_SLTI: "1 if R[{r1}] < {imm} else 0",
+    _H_AND: "R[{r1}] & R[{r2}]",
+    _H_OR: "R[{r1}] | R[{r2}]",
+    _H_XOR: "R[{r1}] ^ R[{r2}]",
+    _H_ANDI: "R[{r1}] & {imm}",
+    _H_ORI: "R[{r1}] | {imm}",
+    _H_XORI: "R[{r1}] ^ {imm}",
+    _H_SLL: "R[{r1}] << R[{r2}]",
+    _H_SRL: "R[{r1}] >> R[{r2}]",
+    _H_SLLI: "R[{r1}] << {imm}",
+    _H_SRLI: "R[{r1}] >> {imm}",
+    _H_SLTU: "1 if abs(R[{r1}]) < abs(R[{r2}]) else 0",
+    _H_FNEG: "-R[{r1}]",
+    _H_FABS: "abs(R[{r1}])",
+    _H_FLE: "1 if R[{r1}] <= R[{r2}] else 0",
+    _H_FEQ: "1 if R[{r1}] == R[{r2}] else 0",
+    _H_I2F: "float(R[{r1}])",
+    _H_F2I: "int(R[{r1}])",
+}
+
+
+def jit_threshold() -> int:
+    """Block-entry count below which a pc runs through 1-inst stubs."""
+    return max(1, int(os.environ.get("REPRO_JIT_THRESHOLD", "8")))
+
+
+def jit_max_block() -> int:
+    """Maximum instructions fused into one compiled block."""
+    return max(1, int(os.environ.get("REPRO_JIT_MAX_BLOCK", "32")))
+
+
+def block_span(code: list, pc: int, max_block: int) -> int:
+    """End index (exclusive) of the basic block led by ``pc``."""
+    n = len(code)
+    end = pc
+    while end < n and end - pc < max_block:
+        hid = code[end][0]
+        end += 1
+        if hid in _CONTROL_HIDS:
+            break
+    return end
+
+
+def _program_consts(program: Program, code: list) -> dict:
+    """Per-program immutable constants shared by every run's blocks:
+    the instruction objects and prebuilt constant commit records (tuples
+    are immutable, so one object is reused for every dynamic instance)."""
+    slot = decode_memo(program, "blockjit-consts")
+    if "insts" not in slot:
+        slot["insts"] = [d[7] for d in code]
+        slot["plain"] = [(d[7], 0, 0, False) for d in code]
+        taken = {}
+        for i, d in enumerate(code):
+            hid = d[0]
+            if hid in (_H_BNE, _H_BEQ, _H_BLT, _H_BGE, _H_J):
+                taken[i] = (d[7], 0, 0, True)
+            elif hid == _H_JAL:
+                taken[i] = (d[7], 0, d[5], True)
+        slot["taken"] = taken
+    return slot
+
+
+def _fmt(value) -> str:
+    """Literal source for an immediate (repr round-trips ints/floats)."""
+    return repr(value)
+
+
+def _emit_plain(a, pc: int, dec) -> None:
+    """Emit the functional body of one non-control instruction (mirrors
+    the Interpreter handler, then zero-clear, then the commit record)."""
+    hid, rd, r1, r2, imm, target, clears, _inst = dec
+    expr = _ALU_EXPR.get(hid)
+    if expr is not None:
+        a(f"    R[{rd}] = " + expr.format(r1=r1, r2=r2, imm=_fmt(imm)))
+    elif hid == _H_LW:
+        a(f"    a = R[{r1}] + {_fmt(imm)}")
+        a("    if a % 4 or a < 0:")
+        a(f"        raise XE(f\"pc {pc}: misaligned/negative load "
+          "address {a:#x}\")")
+        a("    v = MG(a, 0)")
+        a(f"    R[{rd}] = v")
+        if clears:
+            a("    R[0] = 0")
+        a(f"    _B((_I[{pc}], a, v, False))")
+        return
+    elif hid == _H_SW:
+        a(f"    a = R[{r1}] + {_fmt(imm)}")
+        a("    if a % 4 or a < 0:")
+        a(f"        raise XE(f\"pc {pc}: misaligned/negative store "
+          "address {a:#x}\")")
+        a(f"    v = R[{r2}]")
+        a("    M[a] = v")
+        a(f"    _B((_I[{pc}], a, v, False))")
+        return
+    elif hid == _H_PF:
+        a(f"    a = R[{r1}] + {_fmt(imm)}")
+        a(f"    _B((_I[{pc}], a, 0, False))")
+        return
+    elif hid == _H_ALLOC:
+        a(f"    v = R[{r1}] + {_fmt(imm)}")
+        a("    a = AL(int(v))")
+        a(f"    R[{rd}] = a")
+        if clears:
+            a("    R[0] = 0")
+        a(f"    _B((_I[{pc}], a, a, False))")
+        return
+    elif hid == _H_DIV:
+        a(f"    b = R[{r2}]")
+        a("    if b == 0:")
+        a(f"        raise XE(\"pc {pc}: integer division by zero\")")
+        a(f"    R[{rd}] = int(R[{r1}] / b)")
+    elif hid == _H_REM:
+        a(f"    b = R[{r2}]")
+        a("    if b == 0:")
+        a(f"        raise XE(\"pc {pc}: integer remainder by zero\")")
+        a(f"    a = R[{r1}]")
+        a(f"    R[{rd}] = a - int(a / b) * b")
+    elif hid == _H_FDIV:
+        a(f"    b = R[{r2}]")
+        a("    if b == 0:")
+        a(f"        raise XE(\"pc {pc}: FP division by zero\")")
+        a(f"    R[{rd}] = R[{r1}] / b")
+    elif hid == _H_FSQRT:
+        a(f"    v = R[{r1}]")
+        a("    if v < 0:")
+        a(f"        raise XE(\"pc {pc}: FSQRT of negative value\")")
+        a(f"    R[{rd}] = SQ(v)")
+    elif hid == _H_NOP:
+        pass
+    else:  # pragma: no cover - every non-control hid handled above
+        raise ExecutionError(f"blockjit: unhandled handler id {hid}")
+    if clears:
+        a("    R[0] = 0")
+    a(f"    _B(_T[{pc}])")
+
+
+def _emit_control(a, pc: int, dec) -> None:
+    """Emit a block terminator (branch/jump/halt): record + return pc."""
+    hid, rd, r1, r2, imm, target, clears, _inst = dec
+    if hid in _COND_OP:
+        a(f"    if R[{r1}] {_COND_OP[hid]} R[{r2}]:")
+        if clears:
+            a("        R[0] = 0")
+        a(f"        _B(_TT[{pc}])")
+        a(f"        return {_fmt(target)}")
+        if clears:
+            a("    R[0] = 0")
+        a(f"    _B(_T[{pc}])")
+        a(f"    return {pc + 1}")
+    elif hid == _H_J:
+        if clears:
+            a("    R[0] = 0")
+        a(f"    _B(_TT[{pc}])")
+        a(f"    return {_fmt(target)}")
+    elif hid == _H_JAL:
+        a(f"    R[{rd}] = {pc + 1}")
+        if clears:
+            a("    R[0] = 0")
+        a(f"    _B(_TT[{pc}])")
+        a(f"    return {_fmt(target)}")
+    elif hid == _H_JR:
+        a(f"    v = R[{r1}]")
+        a("    if not isinstance(v, int):")
+        a(f"        raise XE(\"pc {pc}: JR to non-integer target\")")
+        if clears:
+            a("    R[0] = 0")
+        a(f"    _B((_I[{pc}], 0, v, True))")
+        a("    return v")
+    else:  # _H_HALT — yields its record *before* the zero-clear point.
+        a(f"    _B(_T[{pc}])")
+        a("    return None")
+
+
+_PARAMS = ("R=R, M=M, MG=MG, AL=AL, _I=_I, _T=_T, _TT=_TT, _B=_B, XE=XE, "
+           "SQ=SQ, abs=abs, int=int, float=float, isinstance=isinstance")
+
+
+def gen_block_source(code: list, pc0: int, cap: int) -> tuple[str, int]:
+    """Specialized source for the block led by ``pc0``; returns
+    ``(source, block_length)``.  The function binds all external state as
+    defaults (evaluated from the exec namespace) so the body runs on
+    fast locals; it returns the successor pc, or None on HALT."""
+    end = block_span(code, pc0, cap)
+    lines = [f"def _blk({_PARAMS}):"]
+    a = lines.append
+    for pc in range(pc0, end):
+        dec = code[pc]
+        if dec[0] in _CONTROL_HIDS:
+            _emit_control(a, pc, dec)
+        else:
+            _emit_plain(a, pc, dec)
+    if code[end - 1][0] not in _CONTROL_HIDS:
+        a(f"    return {end}")  # cap hit: fall through to the next block
+    return "\n".join(lines) + "\n", end - pc0
+
+
+class CompiledInterpreter:
+    """Drop-in for :class:`~repro.isa.interpreter.Interpreter` running
+    lazily-discovered basic blocks as compiled superinstructions.
+
+    Same constructor, same lazily-yielded ``(inst, addr, value, taken)``
+    records, same exposed state (``registers``, ``memory``,
+    ``allocator``, ``steps``, ``finished``).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        max_steps: int | None = _DEFAULT_MAX_STEPS,
+        threshold: int | None = None,
+        max_block: int | None = None,
+    ) -> None:
+        self.program = program
+        self.max_steps = _DEFAULT_MAX_STEPS if max_steps is None else max_steps
+        self.memory = MemoryImage(program.initial_memory)
+        self.allocator = SizeClassAllocator(program.heap_base)
+        self.registers: list[int | float] = [0] * NUM_REGS
+        self.registers[SP] = program.stack_top
+        self.steps = 0
+        self.finished = False
+        self.threshold = jit_threshold() if threshold is None else max(1, threshold)
+        self.max_block = jit_max_block() if max_block is None else max(1, max_block)
+        #: Block binds this run (stubs included); compile-overhead probe.
+        self.blocks_bound = 0
+
+    def _bind(self, pc: int, code: list, cache: dict, cap: int, env: dict):
+        """Compile (cached per program) and bind (per run) block ``pc``."""
+        entry = cache.get(pc)
+        if entry is None:
+            src, bl = gen_block_source(code, pc, cap)
+            cobj = compile(
+                src, f"<blockjit:{self.program.name}:{pc}>", "exec"
+            )
+            entry = cache[pc] = (cobj, bl)
+        cobj, bl = entry
+        exec(cobj, env)
+        self.blocks_bound += 1
+        return (env.pop("_blk"), bl)
+
+    def run(self) -> Iterator[DynRecord]:
+        """Execute until HALT, yielding the committed instruction stream."""
+        program = self.program
+        code = decode_program(program)
+        n = len(code)
+        consts = _program_consts(program, code)
+        buf: list = []
+        env = {
+            "R": self.registers,
+            "M": self.memory._words,
+            "MG": self.memory._words.get,
+            "AL": self.allocator.alloc,
+            "_I": consts["insts"],
+            "_T": consts["plain"],
+            "_TT": consts["taken"],
+            "_B": buf.append,
+            "XE": ExecutionError,
+            "SQ": math.sqrt,
+        }
+        max_block = self.max_block
+        cache = decode_memo(program, ("blockjit", max_block))
+        stub_cache = decode_memo(program, ("blockjit", 1))
+        blocks: list = [None] * n
+        stubs: list = [None] * n
+        counts = [0] * n
+        threshold = self.threshold
+        bind = self._bind
+        pc = program.entry
+        steps = 0
+        max_steps = self.max_steps
+
+        try:
+            while True:
+                if not 0 <= pc < n:
+                    raise ExecutionError(
+                        f"pc {pc} outside text segment (0..{n - 1})"
+                    )
+                blk = blocks[pc]
+                if blk is None:
+                    c = counts[pc] + 1
+                    counts[pc] = c
+                    if c >= threshold:
+                        blk = blocks[pc] = bind(pc, code, cache, max_block, env)
+                    else:
+                        blk = stubs[pc]
+                        if blk is None:
+                            blk = stubs[pc] = bind(pc, code, stub_cache, 1, env)
+                fn, bl = blk
+                if steps + bl > max_steps:
+                    # Not enough budget for the whole block: step through
+                    # stubs so the budget error fires at the exact
+                    # dynamic instruction with the interpreter's message.
+                    if steps >= max_steps:
+                        raise ExecutionError(
+                            f"instruction budget exceeded ({max_steps}); "
+                            f"likely an infinite loop at pc {pc}"
+                        )
+                    blk = stubs[pc]
+                    if blk is None:
+                        blk = stubs[pc] = bind(pc, code, stub_cache, 1, env)
+                    fn, bl = blk
+                try:
+                    nxt = fn()
+                except BaseException:
+                    # Completed instructions each appended one record;
+                    # the faulting one counts too (the interpreter
+                    # increments ``steps`` before executing).
+                    steps += len(buf) + 1
+                    raise
+                steps += bl
+                if buf:
+                    yield from buf
+                    buf.clear()
+                if nxt is None:
+                    self.finished = True
+                    return
+                pc = nxt
+        finally:
+            self.steps = steps

@@ -1,0 +1,113 @@
+"""Simulation-engine registry: how the timing model executes programs.
+
+Orthogonal to the *prefetch*-engine axis (``repro.prefetch.engines``),
+which selects the scheme being studied, this registry selects the
+*implementation* that produces the numbers.  Every entry is required to
+be bit-identical to every other — same commit stream, same cycle counts,
+same stats — so the choice is purely a speed/validation trade-off:
+
+* ``table`` — the decode-table functional interpreter driving the plain
+  :class:`~repro.cpu.timing.TimingModel` loop (the historical default).
+* ``reference`` — the naive per-opcode interpreter from
+  :mod:`repro.audit.diff` under the same timing loop; slow, exists to
+  give differential validation an independently written semantics.
+* ``compiled`` — the block-compiled fast path: hot basic blocks are
+  fused into generated Python superinstructions executing functional
+  *and* timing semantics with locals-bound state
+  (:mod:`repro.cpu.compiled`), falling back to the table interpreter for
+  cold code and observed runs.
+
+``REPRO_SIM_ENGINE`` overrides the default for anything that does not
+pass an explicit engine (CLI runs, sweeps, tests), which is how CI pins
+a whole golden-variant sweep to ``compiled`` without touching call
+sites.
+
+The loaders are deferred: ``reference`` lives in the audit package and
+``compiled`` imports the timing model, so resolving them at import time
+would cycle.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import ReproError
+from ..registry import Registry
+
+#: Environment override consulted when no explicit engine is requested.
+SIM_ENGINE_ENV = "REPRO_SIM_ENGINE"
+
+#: Name used when neither the caller nor the environment chooses.
+DEFAULT_SIM_ENGINE = "table"
+
+
+@dataclass(frozen=True)
+class SimEngine:
+    """One registered way of executing the ISA under the timing model.
+
+    ``factory`` returns the ``interpreter_factory`` to hand the timing
+    model (``None`` means its built-in decode-table interpreter).
+    ``fused`` marks engines that can replace the whole timing loop when
+    no observer (telemetry/auditor/profiler) needs per-instruction
+    hooks.
+    """
+
+    name: str
+    description: str
+    factory: Callable[[], Any]
+    fused: bool = False
+
+
+def _table_factory() -> Any:
+    return None  # TimingModel's built-in Interpreter
+
+
+def _reference_factory() -> Any:
+    from ..audit.diff import ReferenceInterpreter
+
+    return ReferenceInterpreter
+
+
+def _compiled_factory() -> Any:
+    from .blockjit import CompiledInterpreter
+
+    return CompiledInterpreter
+
+
+SIM_ENGINES: Registry[SimEngine] = Registry("simulation engine")
+SIM_ENGINES.register("table", SimEngine(
+    "table",
+    "decode-table functional interpreter under the plain timing loop",
+    _table_factory,
+))
+SIM_ENGINES.register("reference", SimEngine(
+    "reference",
+    "independent per-opcode reference interpreter (slow; validation)",
+    _reference_factory,
+))
+SIM_ENGINES.register("compiled", SimEngine(
+    "compiled",
+    "block-compiled fused fast path (bit-identical, fastest)",
+    _compiled_factory,
+    fused=True,
+))
+
+
+def default_sim_engine() -> str:
+    """The session default: ``$REPRO_SIM_ENGINE`` when set, else table."""
+    name = os.environ.get(SIM_ENGINE_ENV, "").strip()
+    if not name:
+        return DEFAULT_SIM_ENGINE
+    if name not in SIM_ENGINES:
+        raise ReproError(
+            f"${SIM_ENGINE_ENV}={name!r} is not a simulation engine; "
+            f"available: {SIM_ENGINES.names()}"
+        )
+    return name
+
+
+def resolve_sim_engine(name: str | None = None) -> SimEngine:
+    """Look up ``name`` (or the session default when ``None``/empty)."""
+    return SIM_ENGINES.get(name or default_sim_engine())

@@ -367,11 +367,14 @@ class MemoryHierarchy:
                                line=line, lds=lds)
                 trace.instant("fill", ready, cat="mem", line=line)
         self._fill_l1(addr, dirty=write)
-        self._inflight[line] = ready
-        if len(self._inflight) > 4096:
-            self._inflight = {
-                ln: rt for ln, rt in self._inflight.items() if rt > time
-            }
+        inflight_map = self._inflight
+        inflight_map[line] = ready
+        if len(inflight_map) > 4096:
+            # In place (not rebound): the block-compiled fast path holds a
+            # direct reference to this dict across the whole run.
+            live = [(ln, rt) for ln, rt in inflight_map.items() if rt > time]
+            inflight_map.clear()
+            inflight_map.update(live)
         if st.miss_intervals is not None and not write:
             st.miss_intervals.append((time, ready))
         return ready
@@ -415,8 +418,14 @@ class MemoryHierarchy:
         """True if the line holding ``addr`` is in L1, the prefetch buffer,
         or already in flight (no prefetch request would be generated)."""
         line = addr & self._dl1_line_mask
-        if self.dl1.probe(line) or (self.pb is not None and self.pb.probe(line)):
+        dl1 = self.dl1
+        if line in dl1._sets[(line >> dl1._line_shift) & dl1._set_mask]:
             return True
+        pb = self.pb
+        if pb is not None:
+            pl = line & pb._line_mask
+            if pl in pb._sets[(pl >> pb._line_shift) & pb._set_mask]:
+                return True
         inflight = self._inflight.get(line)
         return inflight is not None and inflight > time
 

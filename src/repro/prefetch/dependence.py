@@ -55,15 +55,20 @@ class DependencePredictor:
         consumers[consumer_pc] = offset
         return True
 
-    def lookup(self, producer_pc: int) -> list[tuple[int, int]]:
-        """Consumers of ``producer_pc`` as (consumer_pc, offset) pairs."""
+    _EMPTY: tuple[tuple[int, int], ...] = ()
+
+    def lookup(self, producer_pc: int):
+        """Consumers of ``producer_pc`` as an iterable of (consumer_pc,
+        offset) pairs.  Returns a live view over the correlation entry (the
+        chase loop consumes it before any ``learn`` can run); wrap in
+        ``list``/``dict`` to snapshot."""
         s = self._table.get(producer_pc % self._sets)
         if not s or producer_pc not in s:
-            return []
+            return self._EMPTY
         consumers, __ = s[producer_pc]
         self._seq += 1
         s[producer_pc] = (consumers, self._seq)
-        return list(consumers.items())
+        return consumers.items()
 
     def is_recurrent(self, pc: int) -> bool:
         """True if ``pc`` participates in a length-1 or length-2 dependence
@@ -77,12 +82,13 @@ class DependencePredictor:
                     return True
         return False
 
-    def lookup_quiet(self, producer_pc: int) -> list[tuple[int, int]]:
-        """Lookup without LRU update (used by recurrence tests)."""
+    def lookup_quiet(self, producer_pc: int):
+        """Lookup without LRU update (used by recurrence tests).  Returns
+        a live (consumer_pc, offset) view, like :meth:`lookup`."""
         s = self._table.get(producer_pc % self._sets)
         if not s or producer_pc not in s:
-            return []
-        return list(s[producer_pc][0].items())
+            return self._EMPTY
+        return s[producer_pc][0].items()
 
 
 class ValueCorrelator:

@@ -133,42 +133,85 @@ class DBPEngine(PrefetchEngine):
         self._chase(producer_pc, value, time, self.pcfg.max_chain_depth)
 
     def _chase(self, producer_pc: int, value: int, time: int, depth: int) -> None:
-        """Speculatively unroll the traversal kernel from ``value``."""
+        """Speculatively unroll the traversal kernel from ``value``.
+
+        Iterative depth-first formulation of the natural recursion (this is
+        the simulation's hottest engine path).  Each frame keeps the
+        re-chase dict reference it captured at entry — when a prune swaps
+        in a rebuilt dict, outer frames intentionally keep consulting (and
+        writing) the table they started with, matching the recursive
+        version's closure-over-local behavior exactly.
+        """
         if depth <= 0 or not self.valid_pointer(value):
             return
-        recent = self._recent_chase
-        for consumer_pc, offset in self.predictor.lookup(producer_pc):
-            if self._budget <= 0:
-                return
-            addr = value + offset
-            if addr % 4 or addr < 0:
-                continue
-            # One unroll step (this consumer at this address) is launched at
-            # most once per window; a duplicate means the same speculative
-            # kernel instance is already outstanding, subtree included.
-            key = (consumer_pc, addr)
-            seen = recent.get(key)
-            if seen is not None and time - seen < self.RECHASE_WINDOW:
-                continue
-            recent[key] = time
-            if time > self._chase_tmax:
-                self._chase_tmax = time
-            if (
-                self._chase_tmax - self._chase_pruned_at >= self.RECHASE_WINDOW
-                and len(recent) > self.RECHASE_PRUNE_MIN
-            ) or len(recent) > self.RECHASE_TABLE_MAX:
-                cutoff = self._chase_tmax - self._chase_slack
-                self._recent_chase = recent = {
-                    k: t for k, t in recent.items() if t >= cutoff
-                }
-                self._chase_pruned_at = self._chase_tmax
-            self._budget -= 1
-            done = self.request(addr, time, pc=consumer_pc)
-            if done is None:
-                continue
-            nxt = self.timing_mem.peek(addr)
-            if isinstance(nxt, int) and nxt:
-                self._chase(consumer_pc, nxt, done, depth - 1)
+        lookup = self.predictor.lookup
+        request = self.request
+        peek = self.timing_mem.peek
+        window = self.RECHASE_WINDOW
+        prune_min = self.RECHASE_PRUNE_MIN
+        table_max = self.RECHASE_TABLE_MAX
+        heap_lo = self._heap_lo
+        heap_hi = self._heap_hi
+        slack = self._chase_slack
+        budget = self._budget
+        tmax = self._chase_tmax
+        pruned_at = self._chase_pruned_at
+        stack = [[value, time, depth, iter(lookup(producer_pc)),
+                  self._recent_chase]]
+        while stack:
+            frame = stack[-1]
+            value, time, depth, it, recent = frame
+            descended = False
+            for consumer_pc, offset in it:
+                if budget <= 0:
+                    # Cascaded early returns in the recursive form: every
+                    # outer frame would bail at its next budget check with
+                    # no further side effects.
+                    stack.clear()
+                    descended = True
+                    break
+                addr = value + offset
+                if addr % 4 or addr < 0:
+                    continue
+                # One unroll step (this consumer at this address) is
+                # launched at most once per window; a duplicate means the
+                # same speculative kernel instance is already outstanding,
+                # subtree included.
+                key = (consumer_pc, addr)
+                seen = recent.get(key)
+                if seen is not None and time - seen < window:
+                    continue
+                recent[key] = time
+                if time > tmax:
+                    tmax = time
+                if (
+                    tmax - pruned_at >= window and len(recent) > prune_min
+                ) or len(recent) > table_max:
+                    cutoff = tmax - slack
+                    self._recent_chase = recent = {
+                        k: t for k, t in recent.items() if t >= cutoff
+                    }
+                    frame[4] = recent
+                    pruned_at = tmax
+                budget -= 1
+                done = request(addr, time, pc=consumer_pc)
+                if done is None:
+                    continue
+                nxt = peek(addr)
+                if (
+                    depth > 1 and isinstance(nxt, int) and nxt
+                    and heap_lo <= nxt < heap_hi and not nxt % 4
+                ):
+                    stack.append([nxt, done, depth - 1,
+                                  iter(lookup(consumer_pc)),
+                                  self._recent_chase])
+                    descended = True
+                    break
+            if not descended:
+                stack.pop()
+        self._budget = budget
+        self._chase_tmax = tmax
+        self._chase_pruned_at = pruned_at
 
     # -- auditing --------------------------------------------------------
 

@@ -109,6 +109,7 @@ def describe_registries() -> dict[str, list[str]]:
     """Names in every experiment-axis registry (CLI ``list`` backend)."""
     from .config import MACHINES
     from .harness.schemes import SCHEME_REGISTRY
+    from .isa.engines import SIM_ENGINES
     from .prefetch.engines import ENGINES
     from .workloads.registry import WORKLOADS
 
@@ -116,5 +117,6 @@ def describe_registries() -> dict[str, list[str]]:
         "machines": MACHINES.names(),
         "schemes": SCHEME_REGISTRY.names(),
         "engines": ENGINES.names(),
+        "sim_engines": SIM_ENGINES.names(),
         "workloads": WORKLOADS.names(sort=True),
     }

@@ -17,7 +17,7 @@ class TestPredictor:
     def test_learn_and_lookup(self):
         p = make()
         assert p.learn(10, 20, 4)
-        assert p.lookup(10) == [(20, 4)]
+        assert list(p.lookup(10)) == [(20, 4)]
 
     def test_multiple_consumers(self):
         p = make()
@@ -29,13 +29,13 @@ class TestPredictor:
         p = make()
         p.learn(10, 20, 4)
         p.learn(10, 20, 8)
-        assert p.lookup(10) == [(20, 8)]
+        assert list(p.lookup(10)) == [(20, 8)]
 
     def test_rejects_wild_offsets(self):
         p = make()
         assert not p.learn(10, 20, MAX_OFFSET + 1)
         assert not p.learn(10, 20, MIN_OFFSET - 1)
-        assert p.lookup(10) == []
+        assert list(p.lookup(10)) == []
 
     def test_boundary_offsets_accepted(self):
         p = make()

@@ -115,9 +115,11 @@ class TestSchemeRegistry:
 class TestDescribeRegistries:
     def test_covers_every_axis(self):
         desc = describe_registries()
-        assert set(desc) == {"machines", "schemes", "engines", "workloads"}
+        assert set(desc) == {"machines", "schemes", "engines",
+                             "sim_engines", "workloads"}
         assert desc["machines"] == ["table2", "bench", "small"]
         assert desc["schemes"] == list(SCHEMES)
         assert "software" in desc["engines"]
+        assert desc["sim_engines"] == ["table", "reference", "compiled"]
         assert desc["workloads"] == sorted(desc["workloads"])
         assert "health" in desc["workloads"]
