@@ -47,7 +47,7 @@ from .audit import (
     regressions,
 )
 from .audit.gate import DEFAULT_GOLDEN
-from .config import get_machine, machine_names
+from .config import MSHR_MODELS, get_machine, machine_names
 from .errors import ConfigError
 from .harness import (
     SCHEMES,
@@ -134,6 +134,7 @@ def _list_machines() -> str:
             "mem latency": cfg.memory_latency,
             "dl1": f"{cfg.dl1.size // 1024}KB",
             "l2": f"{cfg.l2.size // 1024}KB",
+            "mshr": cfg.mshr_model,
             "jump interval": cfg.prefetch.jump_interval,
         })
     return format_table(rows, "Machines")
@@ -417,6 +418,7 @@ def cmd_audit(args) -> int:
         interval=args.every,
         faults=faults,
         strict=args.strict,
+        mshr_model=args.mshr_model,
     )
     print(format_table(
         [c.row() for c in cells],
@@ -443,7 +445,8 @@ def cmd_audit(args) -> int:
               f"check and fidelity gate)", file=sys.stderr)
     else:
         diff_rows = differential_check(
-            golden, machine=args.machine, full_stats_sample=args.diff_sample
+            golden, machine=args.machine, full_stats_sample=args.diff_sample,
+            mshr_model=args.mshr_model,
         )
         print()
         print(format_table(
@@ -744,6 +747,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     audit.add_argument("--machine", choices=machine_names(), default="small",
                        help="named machine for the sweep (default: small)")
+    audit.add_argument("--mshr-model", choices=list(MSHR_MODELS),
+                       default=None, metavar="MODEL",
+                       help="override the machine's MSHR model for the "
+                            "invariant sweep and differential stats sample "
+                            "(blocking | coalescing | full; default: the "
+                            "machine's own setting)")
     audit.add_argument("--workloads", nargs="+", default=None,
                        choices=workload_names(), metavar="WORKLOAD",
                        help="restrict the invariant sweep (default: all)")

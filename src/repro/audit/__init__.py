@@ -46,6 +46,7 @@ from .invariants import (
     AuditError,
     Auditor,
     AuditViolation,
+    corrupt_mshr_tracker,
     corrupt_outcome_tracker,
 )
 from .paper_targets import (
@@ -74,6 +75,7 @@ __all__ = [
     "all_targets",
     "audit_workloads",
     "compare_benchmarks",
+    "corrupt_mshr_tracker",
     "corrupt_outcome_tracker",
     "diff_all_engines",
     "diff_commit_streams",

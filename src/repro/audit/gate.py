@@ -36,7 +36,7 @@ from ..harness.schemes import scheme_names, scheme_plan
 from ..obs import Telemetry
 from ..workloads import get_workload, workload_class, workload_names
 from .diff import Divergence, diff_all_engines, diff_results, reference_simulate
-from .invariants import Auditor, corrupt_outcome_tracker
+from .invariants import Auditor, corrupt_mshr_tracker, corrupt_outcome_tracker
 
 #: Default golden pin file (the repo's timing contract).
 DEFAULT_GOLDEN = Path(__file__).resolve().parents[3] / "tests" / "golden_cycles.json"
@@ -81,15 +81,21 @@ def audit_workloads(
     interval: int = 512,
     faults: FaultPlan | None = None,
     strict: bool = False,
+    mshr_model: str | None = None,
 ) -> list[AuditCell]:
     """Sweep the invariant checker over the workload/scheme matrix.
 
-    Workloads run at their quick test sizes on the named machine.  Cells
-    matched by a ``corrupt`` fault rule get a deliberately broken outcome
-    tracker; with a working auditor those cells (and only those) report
-    violations.
+    Workloads run at their quick test sizes on the named machine;
+    ``mshr_model`` overrides the machine's MSHR model so the
+    non-blocking hierarchies run under the same sweep (and arm the MSHR
+    conservation laws).  Cells matched by a ``corrupt`` fault rule get a
+    deliberately broken outcome tracker — plus, under a non-blocking
+    model, a skewed MSHR allocation counter; with a working auditor
+    those cells (and only those) report violations.
     """
     cfg = get_machine(machine)
+    if mshr_model is not None:
+        cfg = cfg.with_overrides({"mshr_model": mshr_model})
     cells: list[AuditCell] = []
     for name in workloads or workload_names():
         workload = get_workload(name, **workload_class(name).test_params())
@@ -102,6 +108,7 @@ def audit_workloads(
             if variant not in programs:
                 programs[variant] = workload.build(variant).program
             telemetry = Telemetry()
+            auditor = Auditor(interval=interval, strict=strict)
             corrupted = False
             if faults is not None:
                 spec = RunSpec.make(name, variant, engine, cfg,
@@ -110,8 +117,11 @@ def audit_workloads(
                     # after=0: tiny test-size runs issue few prefetches,
                     # so mis-classify from the very first one.
                     corrupt_outcome_tracker(telemetry.outcomes, after=0)
+                    if cfg.mshr_model != "blocking":
+                        # The MSHR laws only arm under the non-blocking
+                        # models; drill them in the same corrupt cells.
+                        corrupt_mshr_tracker(auditor, after=0)
                     corrupted = True
-            auditor = Auditor(interval=interval, strict=strict)
             simulate(
                 programs[variant], cfg, engine=engine,
                 telemetry=telemetry, audit=auditor,
@@ -160,6 +170,7 @@ def differential_check(
     machine: str = "small",
     full_stats_sample: int = 2,
     max_steps: int | None = 5_000_000,
+    mshr_model: str | None = None,
 ) -> list[dict[str, Any]]:
     """Engine vs reference-path diff for every golden-pinned cell.
 
@@ -169,10 +180,14 @@ def differential_check(
     first ``full_stats_sample`` cells also re-run the complete timing
     simulation with the reference interpreter and with the fused
     compiled engine, diffing the resulting stats field-by-field against
-    the table run.  Returns one row per cell; ``ok`` is False on any
-    divergence.
+    the table run.  ``mshr_model`` overrides the machine's MSHR model
+    for the stats sample (the commit-stream diff is architectural and
+    timing-independent).  Returns one row per cell; ``ok`` is False on
+    any divergence.
     """
     cfg = get_machine(machine)
+    if mshr_model is not None:
+        cfg = cfg.with_overrides({"mshr_model": mshr_model})
     rows: list[dict[str, Any]] = []
     sampled = 0
     for name, variant, params, label in _golden_cells(load_golden(golden_path)):
@@ -231,8 +246,14 @@ def fidelity_gate(
     cfg = get_machine(machine)
     rows: list[dict[str, Any]] = []
     for label, entry in sorted(golden.items()):
+        entry_cfg = cfg
+        if "mshr_model" in entry:
+            # Non-blocking pins carry their model next to the params.
+            entry_cfg = cfg.with_overrides(
+                {"mshr_model": entry["mshr_model"]}
+            )
         runner = BenchmarkRunner(
-            entry.get("workload", label), cfg, entry["params"]
+            entry.get("workload", label), entry_cfg, entry["params"]
         )
         idiom = entry.get("idiom")
         for scheme, want in sorted(entry["schemes"].items()):

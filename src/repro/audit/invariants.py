@@ -9,7 +9,11 @@ audit=Auditor())``) and sweeps the model's conservation laws every
   bookkeeping (``issued_at``) bounded by its prune policy;
 * **memory hierarchy** — per level ``hits + misses == accesses``,
   resident lines ≤ capacity, TLB misses ≤ accesses, prefetch request
-  accounting (see :meth:`repro.mem.hierarchy.MemoryHierarchy.audit_check`);
+  accounting, and — under the non-blocking ``mshr_model`` settings — the
+  MSHR conservation laws (allocated == retired + outstanding, coalesce
+  and per-entry target accounting, occupancy peak ≤
+  ``max_outstanding_misses``); see
+  :meth:`repro.mem.hierarchy.MemoryHierarchy.audit_check`;
 * **prefetch engine** — PRQ occupancy ≤ capacity, the DBP re-chase table
   bounded, JQT/jump-queue occupancy ≤ capacity (see the ``audit_check``
   overrides in :mod:`repro.prefetch.engines`);
@@ -241,3 +245,38 @@ def corrupt_outcome_tracker(tracker, after: int = 8):
 
     tracker.record_issue = corrupted
     return tracker
+
+
+def corrupt_mshr_tracker(auditor, after: int = 0):
+    """Deterministically skew the hierarchy's MSHR conservation counters.
+
+    From the ``after``-th audit sweep on, every sweep first bumps
+    ``mshrs_allocated`` without a matching allocation — the phantom-MSHR
+    bug the ``mshr-conservation`` law exists to catch.  The corruption is
+    injected through the :class:`Auditor` hooks (the hierarchy itself is
+    ``__slots__``-ed, so its methods cannot be wrapped per-instance),
+    which also guarantees every corrupted sweep sees the skew.  Only
+    meaningful under a non-blocking ``mshr_model`` — the law is gated off
+    under ``blocking``.  Returns the auditor for chaining.
+    """
+    state = {"n": 0}
+
+    def skew(model) -> None:
+        state["n"] += 1
+        if state["n"] > after:
+            model.hierarchy.stats.mshrs_allocated += 1
+
+    real_on_commit = auditor.on_commit
+    real_on_finish = auditor.on_finish
+
+    def corrupted_commit(n_committed, cycle, *args, **kwargs):
+        skew(auditor._model)
+        real_on_commit(n_committed, cycle, *args, **kwargs)
+
+    def corrupted_finish(model, n_committed, cycle):
+        skew(model)
+        real_on_finish(model, n_committed, cycle)
+
+    auditor.on_commit = corrupted_commit
+    auditor.on_finish = corrupted_finish
+    return auditor

@@ -26,6 +26,14 @@ from typing import Any, Callable, Mapping, get_type_hints
 from .errors import ConfigError
 from .registry import Registry
 
+#: MSHR models of the memory hierarchy, in fidelity order (see
+#: :mod:`repro.mem.hierarchy`): ``blocking`` reproduces the historical
+#: capped-outstanding-misses behavior bit-exactly, ``coalescing`` adds
+#: per-line MSHR entries with secondary-miss target lists and dirty-victim
+#: bus contention, ``full`` adds critical-word-first fill and
+#: hit-during-refill on top of coalescing.
+MSHR_MODELS: tuple[str, ...] = ("blocking", "coalescing", "full")
+
 
 def _check_power_of_two(name: str, value: int) -> None:
     if not isinstance(value, int) or isinstance(value, bool) \
@@ -335,6 +343,13 @@ class MachineConfig(SerializableConfig):
     )
     memory_latency: int = 70
     max_outstanding_misses: int = 8
+    mshr_model: str = "blocking"
+    """MSHR behavior of the data-side memory hierarchy: one of
+    :data:`MSHR_MODELS`.  ``blocking`` (the default) only caps outstanding
+    misses; ``coalescing`` merges secondary misses into per-line MSHR
+    entries and charges dirty-victim writebacks against demand bus slots;
+    ``full`` additionally models critical-word-first fill and
+    hit-during-refill."""
     itlb: TLBConfig = field(default_factory=lambda: TLBConfig(entries=16))
     dtlb: TLBConfig = field(default_factory=lambda: TLBConfig(entries=32))
     l2_bus: BusConfig = field(default_factory=lambda: BusConfig(width=8, clock_divisor=2))
@@ -350,6 +365,13 @@ class MachineConfig(SerializableConfig):
     perfect_data_memory: bool = False
     """When True every data access costs one cycle; used for the paper's
     compute-time decomposition (memory stall = realistic - perfect)."""
+
+    def __post_init__(self) -> None:
+        if self.mshr_model not in MSHR_MODELS:
+            raise ConfigError(
+                f"unknown mshr_model {self.mshr_model!r}; "
+                f"available: {list(MSHR_MODELS)}"
+            )
 
     def with_memory_latency(self, latency: int) -> "MachineConfig":
         """The Figure 7 sweep: same machine, different main-memory latency."""

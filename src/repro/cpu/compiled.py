@@ -45,6 +45,15 @@ fully supported: their ``on_load_issue`` / ``on_load_commit`` /
 ``on_sw_prefetch`` hooks and dataflow-provenance tracking are compiled
 into the blocks, specialized away when the engine does not need them.
 
+The inlined L1-hit load/store path is what makes every
+``MachineConfig.mshr_model`` safe here without model-specific codegen:
+the hierarchy's contract (see :mod:`repro.mem.hierarchy`) keeps all
+MSHR/coalescing/write-back bookkeeping off the L1-hit path — confined to
+the merge, miss, and prefetch paths, which both engines reach through
+the same ``data_access``/``prefetch_request`` calls — so the compiled
+engine stays bit-identical to the table loop under ``blocking``,
+``coalescing`` and ``full`` alike.
+
 Generated code objects are cached per program under a machine/engine
 signature via :func:`~repro.isa.interpreter.decode_memo`; per run, only
 an ``exec`` rebinding state into each block's defaults is paid.

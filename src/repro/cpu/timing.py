@@ -11,7 +11,8 @@ are computed in program order, constrained by
 * issue width and the Table-2 functional unit pool (unpipelined divides),
 * two cache ports; loads wait for all previous store addresses and forward
   from in-flight stores with a 1-cycle bypass,
-* the memory hierarchy of :mod:`repro.mem.hierarchy` (MSHRs, buses, TLBs),
+* the memory hierarchy of :mod:`repro.mem.hierarchy` (MSHRs — blocking,
+  coalescing or full per ``MachineConfig.mshr_model`` — buses, TLBs),
 * branch mispredictions: fetch redirects at branch resolution plus a
   front-end refill penalty; BTB misses on taken branches and RAS misses on
   returns cost a decode-stage redirect.

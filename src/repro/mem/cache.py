@@ -2,7 +2,12 @@
 
 This models cache *contents* (hit/miss/eviction and dirty state); access
 *timing* (buses, MSHRs, miss latencies) lives in
-:class:`repro.mem.hierarchy.MemoryHierarchy`.
+:class:`repro.mem.hierarchy.MemoryHierarchy`.  The dirty-bit set drives
+the hierarchy's write-back accounting: stores mark lines dirty, and a
+fill that evicts a dirty victim returns ``evicted_dirty=True`` so the
+hierarchy can charge the victim write-back to the bus — background-only
+under ``mshr_model="blocking"``, contending with demand traffic under
+the non-blocking models.
 """
 
 from __future__ import annotations

@@ -16,6 +16,45 @@ Prefetch requests follow the same path but fill the prefetch buffer when
 one is configured (hardware/cooperative/DBP schemes); a demand hit in the
 prefetch buffer costs one cycle and installs the line into L1 ("installed
 into the cache if used", Table 2).
+
+MSHR models (``MachineConfig.mshr_model``)
+------------------------------------------
+
+The data side supports three MSHR fidelity levels, selectable per machine
+(spec files: ``overrides = {"mshr_model" = "coalescing"}``; CLI:
+``repro audit --mshr-model full``, ``repro run-spec --set
+mshr_model=coalescing``):
+
+* ``blocking`` (default) — the historical model above, bit-exact: misses
+  are capped by the MSHR file, merges with in-flight lines see the
+  residual latency, and dirty-victim writebacks occupy only background
+  bus slots.
+* ``coalescing`` — per-line MSHR entries with secondary-miss coalescing:
+  a demand miss (or prefetch) to an in-flight line joins that entry's
+  target list instead of allocating a new MSHR or re-walking the bus, and
+  a demand join *promotes* a background (prefetch/store) fill to demand
+  bus priority — it completes no later than the entry's demand-priority
+  completion time, computed when the transfer was scheduled.  Prefetches
+  to in-flight lines are reclassified from ``redundant`` to
+  ``coalesced``.  Dirty-victim L1 writebacks additionally consume demand
+  bus slots (the victim must drain before the fill's port is free), so
+  write-back traffic now contends with demand and prefetch transfers.
+* ``full`` — ``coalescing`` plus critical-word-first fill (the triggering
+  demand load completes after one word crosses the L2 bus rather than the
+  whole line) and hit-during-refill (a secondary demand load is served as
+  the refill streams past, at ``max(t + dl1.latency, first-beat
+  arrival)``, without waiting for the full line).
+
+The instruction side keeps the blocking model throughout (I-fetch misses
+do not coalesce into data MSHRs).  Every model shares the same L1-hit
+path, so the block-compiled engine's inlined hit fast path
+(:mod:`repro.cpu.compiled`) stays bit-identical to the table engine under
+every model; all model-specific behavior lives on the miss/merge paths.
+
+MSHR bookkeeping is audited (:meth:`MemoryHierarchy.audit_check`):
+``allocated == retired + outstanding``, target-list conservation,
+coalesce accounting, and the occupancy bound never exceeding
+``max_outstanding_misses``.
 """
 
 from __future__ import annotations
@@ -50,6 +89,23 @@ class HierarchyStats:
     miss_intervals: list[tuple[int, int]] | None = None
     lds_load_misses: int = 0
     load_misses: int = 0
+    # Dirty-victim L1 writebacks (counted under every model; only the
+    # non-blocking models charge them against demand bus slots).
+    writebacks_l1: int = 0
+    writeback_bus_cycles: int = 0
+    # MSHR-entry accounting (non-blocking models only; stays zero under
+    # `blocking`, which has no per-line entry table).
+    mshrs_allocated: int = 0
+    mshrs_retired: int = 0
+    mshr_coalesced: int = 0
+    mshr_targets: int = 0
+    mshr_targets_retired: int = 0
+    mshr_occupancy_peak: int = 0
+    prefetches_coalesced: int = 0
+    # `full` model only: demand misses returned at the critical word, and
+    # secondary loads served while the refill streamed past.
+    critical_word_returns: int = 0
+    refill_hits: int = 0
 
     extra: dict[str, int] = field(default_factory=dict)
 
@@ -62,7 +118,8 @@ class MemoryHierarchy:
         "_l2_bus_demand", "_l2_bus_all", "_mem_bus_demand", "_mem_bus_all",
         "_mshr_done", "_inflight", "_pf_lines", "_pf_inflight", "_perfect",
         "_demand_fill_estimate", "_obs", "_miss_hist", "_dl1_line_mask",
-        "_prof",
+        "_prof", "_nb", "_full", "_mshr_entries", "_mshr_hist",
+        "_last_demand_ready", "_last_data_ready", "_wb_until",
     )
 
     def __init__(
@@ -94,6 +151,22 @@ class MemoryHierarchy:
         self._mem_bus_all = 0
         self._mshr_done: list[int] = []  # completion times of in-flight misses
         self._inflight: dict[int, int] = {}  # line -> data ready time
+        # Non-blocking MSHR models (see module docstring).  `_nb` is
+        # hoisted so the blocking fast path pays one attribute read.
+        self._nb = cfg.mshr_model != "blocking"
+        self._full = cfg.mshr_model == "full"
+        # line -> [ready, demand_ready, data_ready, targets]: the fill
+        # completion, its hypothetical demand-priority completion (used to
+        # promote background fills a demand join rides), the first-beat
+        # arrival (critical word / refill streaming), and the target list
+        # length.  Retired lazily at allocation time.
+        self._mshr_entries: dict[int, list[int]] = {}
+        # Side channel filled by _l2_path under non-blocking models.
+        self._last_demand_ready = 0
+        self._last_data_ready = 0
+        # Demand-bus time up to which the backlog tail is a writeback
+        # drain (profiler attribution of wb-held demand misses).
+        self._wb_until = 0
         self._pf_lines: set[int] = set()  # lines filled by prefetch, not yet used
         self._pf_inflight: set[int] = set()
         self._perfect = cfg.perfect_data_memory
@@ -110,6 +183,7 @@ class MemoryHierarchy:
         # Optional observability context (None = zero-overhead fast path).
         self._obs: "Telemetry | None" = None
         self._miss_hist = None
+        self._mshr_hist = None
         # Optional profiler (same contract): notes the service level and
         # latency of every demand load for the CPI stack / site table.
         self._prof = None
@@ -121,15 +195,22 @@ class MemoryHierarchy:
         instruments into its metric registry."""
         self._obs = obs
         if obs is not None:
-            from ..obs import MISS_LATENCY_BOUNDS
+            from ..obs import MISS_LATENCY_BOUNDS, linear_buckets
 
             self._miss_hist = obs.registry.histogram(
                 "mem.miss_latency_cycles",
                 MISS_LATENCY_BOUNDS,
                 help="demand L1 data-miss latency (request to fill)",
             )
+            self._mshr_hist = obs.registry.histogram(
+                "mem.mshr_occupancy",
+                linear_buckets(1, 1, self.cfg.max_outstanding_misses),
+                help="live MSHR entries, sampled at each allocation "
+                     "(non-blocking mshr models only)",
+            )
         else:
             self._miss_hist = None
+            self._mshr_hist = None
 
     def set_profiler(self, prof) -> None:
         """Attach a :class:`repro.obs.profile.Profiler` (or ``None``)."""
@@ -149,8 +230,19 @@ class MemoryHierarchy:
           ``sets * assoc``.
         * **tlb-access-conservation** — per TLB, ``misses <= accesses``.
         * **prefetch-request-accounting** — every prefetch request
-          resolves to exactly one of issued / redundant / throttled
-          (skipped under perfect data memory, which short-circuits).
+          resolves to exactly one of issued / redundant / throttled /
+          coalesced (skipped under perfect data memory, which
+          short-circuits).
+
+        Non-blocking MSHR models add the entry-table conservation laws:
+
+        * **mshr-conservation** — ``allocated == retired + outstanding``.
+        * **mshr-coalesce-accounting** — every coalesced (secondary) miss
+          is exactly one demand partial hit or one coalesced prefetch.
+        * **mshr-target-accounting** — targets ever attached equal
+          targets retired plus targets on live entries.
+        * **mshr-occupancy** — live entries never exceeded
+          ``max_outstanding_misses``.
         """
         violations: list[tuple[str, str]] = []
         caches = [self.il1, self.dl1, self.l2]
@@ -185,12 +277,42 @@ class MemoryHierarchy:
                 st.prefetches_issued
                 + st.prefetches_redundant
                 + st.prefetches_throttled
+                + st.prefetches_coalesced
             )
             if resolved > st.prefetches_requested:
                 violations.append((
                     "prefetch-request-accounting",
                     f"{resolved} resolved prefetch requests > "
                     f"{st.prefetches_requested} requested",
+                ))
+        if self._nb:
+            entries = self._mshr_entries
+            outstanding = len(entries)
+            if st.mshrs_allocated != st.mshrs_retired + outstanding:
+                violations.append((
+                    "mshr-conservation",
+                    f"allocated {st.mshrs_allocated} != retired "
+                    f"{st.mshrs_retired} + outstanding {outstanding}",
+                ))
+            if st.mshr_coalesced != st.l1d_partial_hits + st.prefetches_coalesced:
+                violations.append((
+                    "mshr-coalesce-accounting",
+                    f"coalesced {st.mshr_coalesced} != partial hits "
+                    f"{st.l1d_partial_hits} + coalesced prefetches "
+                    f"{st.prefetches_coalesced}",
+                ))
+            live_targets = sum(e[3] for e in entries.values())
+            if st.mshr_targets != st.mshr_targets_retired + live_targets:
+                violations.append((
+                    "mshr-target-accounting",
+                    f"targets {st.mshr_targets} != retired "
+                    f"{st.mshr_targets_retired} + live {live_targets}",
+                ))
+            if st.mshr_occupancy_peak > self.cfg.max_outstanding_misses:
+                violations.append((
+                    "mshr-occupancy",
+                    f"peak occupancy {st.mshr_occupancy_peak} > "
+                    f"MSHR file size {self.cfg.max_outstanding_misses}",
                 ))
         return violations
 
@@ -210,6 +332,40 @@ class MemoryHierarchy:
     def _release_mshr(self, done_time: int) -> None:
         self._mshr_done.append(done_time)
 
+    def _mshr_alloc(self, line: int, ready: int, now: int) -> list[int]:
+        """Non-blocking models: allocate the per-line MSHR entry for a
+        primary miss issued at ``now`` (retiring entries whose fills have
+        completed), recording the demand-priority and first-beat times
+        :meth:`_l2_path` just computed.  Only ever called on miss paths —
+        never on L1 hits — so the table- and block-compiled engines see
+        identical bookkeeping."""
+        st = self.stats
+        entries = self._mshr_entries
+        if entries:
+            retired = [ln for ln, e in entries.items() if e[0] <= now]
+            for ln in retired:
+                st.mshr_targets_retired += entries.pop(ln)[3]
+            st.mshrs_retired += len(retired)
+        while len(entries) >= self.cfg.max_outstanding_misses:
+            # The file is physically full (time-based pruning lags when
+            # ``_mshr_done`` slots were freed at later I-fetch or prefetch
+            # probe times): reuse the earliest-completing miss's slot.
+            # Secondary misses to its line still merge on ``_inflight``
+            # time — they just cannot attach to a recycled entry.
+            victim = min(entries, key=lambda ln: entries[ln][0])
+            st.mshr_targets_retired += entries.pop(victim)[3]
+            st.mshrs_retired += 1
+        entry = [ready, self._last_demand_ready, self._last_data_ready, 1]
+        entries[line] = entry
+        st.mshrs_allocated += 1
+        st.mshr_targets += 1
+        occ = len(entries)
+        if occ > st.mshr_occupancy_peak:
+            st.mshr_occupancy_peak = occ
+        if self._mshr_hist is not None:
+            self._mshr_hist.observe(occ)
+        return entry
+
     def _l2_path(
         self,
         line_addr: int,
@@ -220,12 +376,24 @@ class MemoryHierarchy:
         """Request ``fill_line_bytes`` at ``line_addr`` from L2/memory at
         ``time``; returns the time the data arrives at the L1 boundary.
         ``background`` transfers (prefetches, store-miss fills) yield bus
-        priority to demand transfers."""
+        priority to demand transfers.
+
+        Under non-blocking MSHR models this also records two side-channel
+        times for the new MSHR entry: ``_last_demand_ready`` — what this
+        fill's completion would be at demand bus priority (equal to the
+        return value for demand transfers; always ``<=`` the background
+        completion because the demand timelines never trail the ``_all``
+        timelines) — and ``_last_data_ready`` — when the first beat (the
+        critical word) of the L1 fill arrives."""
         cfg = self.cfg
+        nb = self._nb
         t = time + cfg.l2.latency
         l2_hit = self.l2.access(line_addr)
         if l2_hit:
-            bus_start = max(t, self._l2_bus_all if background else self._l2_bus_demand)
+            dq = self._l2_bus_demand
+            bus_start = max(t, self._l2_bus_all if background else dq)
+            d_bus_start = max(t, dq) if nb and background else bus_start
+            wb_held = dq > t
         else:
             # Main memory access, then fill L2.
             mem_start = max(
@@ -234,6 +402,12 @@ class MemoryHierarchy:
             data_at_l2 = mem_start + cfg.memory_latency
             xfer = cfg.mem_bus.cycles_for(cfg.l2.line)
             mem_done = data_at_l2 + xfer
+            if nb and background:
+                d_mem_done = (
+                    max(t, self._mem_bus_demand) + cfg.memory_latency + xfer
+                )
+            else:
+                d_mem_done = mem_done
             self._mem_bus_all = max(self._mem_bus_all, mem_done)
             if not background:
                 self._mem_bus_demand = max(self._mem_bus_demand, mem_done)
@@ -242,23 +416,44 @@ class MemoryHierarchy:
             if dirty:
                 self.stats.bytes_l2_mem += cfg.l2.line
                 self._mem_bus_all += cfg.mem_bus.cycles_for(cfg.l2.line)
-            bus_start = max(
-                mem_done, self._l2_bus_all if background else self._l2_bus_demand
-            )
+            dq = self._l2_bus_demand
+            bus_start = max(mem_done, self._l2_bus_all if background else dq)
+            d_bus_start = max(d_mem_done, dq) if nb and background else bus_start
+            wb_held = dq > mem_done
         xfer_l1 = cfg.l2_bus.cycles_for(fill_line_bytes)
         done = bus_start + xfer_l1
         self._l2_bus_all = max(self._l2_bus_all, done)
         if not background:
             self._l2_bus_demand = max(self._l2_bus_demand, done)
         self.stats.bytes_l1_l2 += fill_line_bytes
+        if nb:
+            self._last_demand_ready = d_bus_start + xfer_l1
+            # Critical-word-first: the requested word rides the first
+            # beat(s) of the L1 fill (one 4-byte mini-ISA word).
+            self._last_data_ready = bus_start + cfg.l2_bus.cycles_for(4)
         if self._prof is not None:
-            self._prof._l2_source = "l2" if l2_hit else "mem"
+            if nb and not background and wb_held and self._wb_until >= dq:
+                # The demand bus wait was (at least) a writeback drain.
+                self._prof._l2_source = "wb"
+            else:
+                self._prof._l2_source = "l2" if l2_hit else "mem"
         return done
 
     def _writeback_l1(self, line_addr: int) -> None:
-        """Dirty L1 eviction: background traffic on the L2 bus."""
-        self.stats.bytes_l1_l2 += self.cfg.dl1.line
-        self._l2_bus_all += self.cfg.l2_bus.cycles_for(self.cfg.dl1.line)
+        """Dirty L1 eviction.  Under ``blocking`` the victim drains as
+        background traffic on the L2 bus; under the non-blocking models it
+        additionally occupies demand bus slots — the fill that evicted it
+        cannot use the port until the victim has drained — so write-back
+        traffic contends with demand and prefetch transfers alike."""
+        st = self.stats
+        wb = self.cfg.l2_bus.cycles_for(self.cfg.dl1.line)
+        st.bytes_l1_l2 += self.cfg.dl1.line
+        st.writebacks_l1 += 1
+        st.writeback_bus_cycles += wb
+        self._l2_bus_all += wb
+        if self._nb:
+            self._l2_bus_demand += wb
+            self._wb_until = self._l2_bus_demand
         if not self.l2.access(line_addr, write=True):
             # Allocate-on-writeback; memory traffic counted, timing folded
             # into bus occupancy.
@@ -304,6 +499,15 @@ class MemoryHierarchy:
         if inflight is not None and inflight > time:
             # Merge with an in-flight miss (possibly a late prefetch).
             st.l1d_partial_hits += 1
+            entry = None
+            if self._nb:
+                # Coalesce: join the in-flight entry's target list instead
+                # of allocating an MSHR or re-walking the bus.
+                st.mshr_coalesced += 1
+                entry = self._mshr_entries.get(line)
+                if entry is not None:
+                    entry[3] += 1
+                    st.mshr_targets += 1
             if line in self._pf_inflight:
                 st.prefetches_useful += 1
                 if self._obs is not None:
@@ -315,6 +519,29 @@ class MemoryHierarchy:
                 if inflight > cap:
                     inflight = cap
                     self._inflight[line] = cap
+                    if entry is not None:
+                        entry[0] = cap
+            if entry is not None and not write:
+                # A demand join promotes a background fill to its
+                # demand-priority completion (never earlier than next
+                # cycle); the promoted time sticks for later joins.
+                promoted = entry[1]
+                if promoted <= time:
+                    promoted = time + 1
+                if promoted < inflight:
+                    inflight = promoted
+                    self._inflight[line] = promoted
+                    entry[0] = promoted
+                if self._full:
+                    # Hit during refill: served as the fill streams past,
+                    # without waiting for the whole line to land.
+                    early = entry[2]
+                    floor = time + self.cfg.dl1.latency
+                    if early < floor:
+                        early = floor
+                    if early < inflight:
+                        st.refill_hits += 1
+                        inflight = early
             if write and self.dl1.probe(addr):
                 self.dl1.access(addr, write=True)  # dirty/LRU update
             elif self._prof is not None and not write:
@@ -355,15 +582,25 @@ class MemoryHierarchy:
         t = self._acquire_mshr(time + self.cfg.dl1.latency)
         ready = self._l2_path(line, t, self.cfg.dl1.line, background=write)
         self._release_mshr(ready)
+        ret = ready
+        if self._nb:
+            self._mshr_alloc(line, ready, t)
+            if self._full and not write:
+                # Critical-word-first: the triggering load completes when
+                # its word crosses the bus; the line lands at `ready`.
+                cw = self._last_data_ready
+                if cw < ret:
+                    st.critical_word_returns += 1
+                    ret = cw
         if self._prof is not None and not write:
             # _l2_path just recorded whether L2 hit or memory serviced it.
-            self._prof.note_access(self._prof._l2_source, ready - time)
+            self._prof.note_access(self._prof._l2_source, ret - time)
         obs = self._obs
         if obs is not None and not write:
-            self._miss_hist.observe(ready - time)
+            self._miss_hist.observe(ret - time)
             trace = obs.trace
             if trace is not None:
-                trace.complete("demand-miss", time, ready - time, cat="mem",
+                trace.complete("demand-miss", time, ret - time, cat="mem",
                                line=line, lds=lds)
                 trace.instant("fill", ready, cat="mem", line=line)
         self._fill_l1(addr, dirty=write)
@@ -376,8 +613,8 @@ class MemoryHierarchy:
             inflight_map.clear()
             inflight_map.update(live)
         if st.miss_intervals is not None and not write:
-            st.miss_intervals.append((time, ready))
-        return ready
+            st.miss_intervals.append((time, ret))
+        return ret
 
     def jp_store(self, addr: int, time: int) -> None:
         """Hardware jump-pointer install (Figure 3b): a fire-and-forget
@@ -399,7 +636,11 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
 
     def inst_fetch(self, addr: int, time: int) -> int:
-        """Fetch the instruction line at ``addr``; returns ready time."""
+        """Fetch the instruction line at ``addr``; returns ready time.
+
+        The instruction side keeps the blocking model under every
+        ``mshr_model`` (it shares the MSHR file's capacity but I-misses
+        never coalesce into the data-side entry table)."""
         time += self.itlb.translate(addr)
         line = self.il1.line_addr(addr)
         if self.il1.access(addr):
@@ -433,7 +674,10 @@ class MemoryHierarchy:
         """Issue a (hardware or software) prefetch of the line at ``addr``.
 
         Returns the fill-completion time, or None if the request was
-        redundant (line already cached, buffered, or in flight).
+        redundant (line already cached, buffered, or in flight).  Under
+        the non-blocking MSHR models a request to an in-flight line is
+        *coalesced* — it joins that entry's target list and is counted
+        separately from plain redundancy.
         """
         st = self.stats
         st.prefetches_requested += 1
@@ -445,7 +689,15 @@ class MemoryHierarchy:
             return None
         inflight = self._inflight.get(line)
         if inflight is not None and inflight > time:
-            st.prefetches_redundant += 1
+            if self._nb:
+                st.prefetches_coalesced += 1
+                st.mshr_coalesced += 1
+                entry = self._mshr_entries.get(line)
+                if entry is not None:
+                    entry[3] += 1
+                    st.mshr_targets += 1
+            else:
+                st.prefetches_redundant += 1
             return None
 
         # Prefetches wait for idle resources (the paper's PRQ rationale:
@@ -462,6 +714,8 @@ class MemoryHierarchy:
         t = self._acquire_mshr(time)
         ready = self._l2_path(line, t, self.cfg.dl1.line, background=True)
         self._release_mshr(ready)
+        if self._nb:
+            self._mshr_alloc(line, ready, t)
         st.prefetches_issued += 1
         obs = self._obs
         if obs is not None and obs.trace is not None:

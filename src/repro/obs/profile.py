@@ -24,10 +24,13 @@ it to the :class:`repro.audit.Auditor` invariant sweep.
 commit front, latest stage first:
 
 * ``load.l1`` / ``load.pb`` / ``load.merge`` / ``load.l2`` / ``load.mem``
-  — a demand load's completion bound commit; split by where the
-  hierarchy serviced it (L1 hit / prefetch-buffer hit / merged with an
-  in-flight miss / L2 hit / main memory).  Store-forwarded and
-  perfect-memory loads count as ``load.l1``.
+  / ``load.wb`` — a demand load's completion bound commit; split by where
+  the hierarchy serviced it (L1 hit / prefetch-buffer hit / merged with
+  an in-flight miss / L2 hit / main memory / demand bus held behind a
+  dirty-victim writeback drain — the last only under the non-blocking
+  ``mshr_model`` settings, which charge write-back traffic against demand
+  bus slots).  Store-forwarded and perfect-memory loads count as
+  ``load.l1``.
 * ``fu`` — issue waited on a functional unit (or issue bandwidth)
   beyond operand readiness.
 * ``window`` — dispatch waited for an instruction-window or LSQ slot.
@@ -45,8 +48,10 @@ from .metrics import Histogram, MetricRegistry, exponential_buckets
 if TYPE_CHECKING:  # pragma: no cover
     from ..isa.program import Program
 
-#: Hierarchy service levels a demand load resolves at, nearest first.
-LEVELS = ("l1", "pb", "merge", "l2", "mem")
+#: Hierarchy service levels a demand load resolves at, nearest first
+#: ("wb" = the demand bus wait was a writeback drain; non-blocking
+#: mshr models only).
+LEVELS = ("l1", "pb", "merge", "l2", "mem", "wb")
 
 BASE = "base"
 WINDOW = "window"
@@ -79,7 +84,7 @@ class SiteStats:
     def misses(self) -> int:
         """Accesses serviced past L1 (merge counts: the data was not there)."""
         lv = self.levels
-        return lv["pb"] + lv["merge"] + lv["l2"] + lv["mem"]
+        return lv["pb"] + lv["merge"] + lv["l2"] + lv["mem"] + lv["wb"]
 
 
 class Profiler:

@@ -10,6 +10,14 @@
   Jump-pointer Register; jump-pointers are created at recurrent-load commit
   and used at recurrent-load issue (Section 3.3).  Implements chain jumping
   (queue jumping falls out automatically on backbone-only structures).
+
+All three submit prefetches through
+:meth:`~repro.mem.hierarchy.MemoryHierarchy.prefetch_request`, so their
+interaction with the MSHR model is uniform: under ``blocking`` a
+prefetch to an in-flight line is dropped as redundant, while under the
+non-blocking models it coalesces into the line's demand MSHR (counted
+``prefetches_coalesced``, joining the entry's target list) instead of
+burning a prefetch-request-queue slot's bus walk.
 """
 
 from __future__ import annotations

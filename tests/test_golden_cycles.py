@@ -10,9 +10,11 @@ commit.
 
 Entry keys are display names; an entry may name its ``workload``
 explicitly (so one workload can be pinned at several sizes, e.g.
-``treeadd@deep``) and may pin a specific prefetch ``idiom`` for the
+``treeadd@deep``), may pin a specific prefetch ``idiom`` for the
 software/cooperative schemes (e.g. ``health@sw-root`` pins the
-root-jumping variant instead of the workload's default).
+root-jumping variant instead of the workload's default), and may pin a
+non-default MSHR model via ``mshr_model`` (e.g. ``em3d@mshr-full`` runs
+the same cell under the fully non-blocking hierarchy).
 """
 
 import json
@@ -32,6 +34,8 @@ GOLDEN = json.loads(
 def test_golden_cycles(name):
     entry = GOLDEN[name]
     cfg = small_config()
+    if "mshr_model" in entry:
+        cfg = cfg.with_overrides({"mshr_model": entry["mshr_model"]})
     runner = BenchmarkRunner(entry.get("workload", name), cfg, entry["params"])
     idiom = entry.get("idiom")
     for scheme, want in sorted(entry["schemes"].items()):

@@ -263,6 +263,7 @@ def _walk_program(n=12):
 _VALID_OVERRIDES = {
     "memory_latency": st.integers(min_value=1, max_value=1000),
     "max_outstanding_misses": st.integers(min_value=1, max_value=64),
+    "mshr_model": st.sampled_from(["blocking", "coalescing", "full"]),
     "window": st.integers(min_value=8, max_value=512),
     "alloc_latency": st.integers(min_value=0, max_value=64),
     "dl1.latency": st.integers(min_value=0, max_value=8),

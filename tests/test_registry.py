@@ -116,10 +116,11 @@ class TestDescribeRegistries:
     def test_covers_every_axis(self):
         desc = describe_registries()
         assert set(desc) == {"machines", "schemes", "engines",
-                             "sim_engines", "workloads"}
+                             "sim_engines", "mshr_models", "workloads"}
         assert desc["machines"] == ["table2", "bench", "small"]
         assert desc["schemes"] == list(SCHEMES)
         assert "software" in desc["engines"]
         assert desc["sim_engines"] == ["table", "reference", "compiled"]
+        assert desc["mshr_models"] == ["blocking", "coalescing", "full"]
         assert desc["workloads"] == sorted(desc["workloads"])
         assert "health" in desc["workloads"]

@@ -297,6 +297,63 @@ class TestWarmCache:
 
 
 # ----------------------------------------------------------------------
+# The mshr_model machine axis through the spec/serde layer
+# ----------------------------------------------------------------------
+
+class TestMshrModelAxis:
+    def test_with_overrides_rejects_unknown_model(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError, match="writethru"):
+            small_config().with_overrides({"mshr_model": "writethru"})
+
+    def test_from_dict_rejects_unknown_model(self):
+        from repro.config import MachineConfig
+        from repro.errors import ConfigError
+        doc = small_config().to_dict()
+        doc["mshr_model"] = "nope"
+        with pytest.raises(ConfigError, match="nope"):
+            MachineConfig.from_dict(doc)
+
+    @pytest.mark.parametrize("model", ["blocking", "coalescing", "full"])
+    def test_serde_round_trip(self, model):
+        from repro.config import MachineConfig
+        cfg = small_config().with_overrides({"mshr_model": model})
+        assert cfg.mshr_model == model
+        assert MachineConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_mshr_axis_spec_round_trips(self):
+        spec = ExperimentSpec(
+            name="mshr-x", label_key="scheme",
+            workloads=(WorkloadSel(
+                "treeadd", params=small_params("treeadd")),),
+            schemes=("base",),
+            axes=(Axis(name="mshr",
+                       values=("blocking", "coalescing", "full"),
+                       set=("machine.mshr_model",)),),
+            columns=("benchmark", "mshr", "scheme", "total"),
+        )
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_mshr_cells_never_share_cache_entries(self, tmp_path):
+        # Cached blocking results must never be served for coalescing
+        # cells: the model is part of the config hash / cache key.
+        base = ExperimentSpec(
+            name="x", workloads=(WorkloadSel(
+                "treeadd", params=small_params("treeadd")),),
+            schemes=("base",), columns=("benchmark", "scheme", "total"),
+        )
+        varied = ExperimentSpec.from_dict(
+            {**base.to_dict(), "overrides": {"mshr_model": "coalescing"}})
+        cfg = small_config()
+
+        first = SweepExecutor(cache=ResultCache(tmp_path))
+        run_spec(base, cfg=cfg, executor=first)
+        second = SweepExecutor(cache=ResultCache(tmp_path))
+        run_spec(varied, cfg=cfg, executor=second)
+        assert second.stats()["executed"] > 0
+
+
+# ----------------------------------------------------------------------
 # Error rows and artifacts
 # ----------------------------------------------------------------------
 
