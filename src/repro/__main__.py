@@ -13,6 +13,9 @@ Examples::
     python -m repro figure5 --timeout 300 --retries 2   # robust long sweep
     python -m repro figure5 --resume             # continue an interrupted sweep
     python -m repro figure5 --inject-faults 'health=transient:2'  # fault drill
+    python -m repro serve /tmp/pool-a.sock --workers 4   # long-lived worker pool
+    python -m repro submit examples/specs/figure5.toml --pool /tmp/pool-a.sock
+    python -m repro figure5 --backend service --pool /tmp/pool-a.sock
     python -m repro run treeadd --scheme software --param levels=9 --param passes=2
     python -m repro run-spec examples/specs/figure5.toml --jobs 4
     python -m repro run-spec mysweep.toml --small -o result.json
@@ -51,6 +54,7 @@ from .config import MSHR_MODELS, get_machine, machine_names
 from .errors import ConfigError
 from .harness import (
     SCHEMES,
+    BackendError,
     BenchmarkRunner,
     ResultCache,
     SCHEME_REGISTRY,
@@ -72,6 +76,7 @@ from .harness import (
     table1,
     traversal_count_sweep,
 )
+from .harness.scheduler import DEFAULT_LEASE_TTL, DEFAULT_POOL_WAIT
 from .obs import (
     EventTrace,
     MetricRegistry,
@@ -330,8 +335,17 @@ def _build_executor(args, journal_name: str | None = None) -> SweepExecutor:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir, registry=registry)
+    backend = getattr(args, "backend", None)
+    pools = list(getattr(args, "pool", None) or [])
+    if pools and backend is None:
+        backend = "service"          # --pool alone implies the backend
+    if backend == "service" and not pools:
+        raise SystemExit(
+            "error: the service backend needs at least one --pool PATH "
+            "(start one with `python -m repro serve PATH`)"
+        )
     progress = None
-    if args.progress or args.jobs > 1:
+    if args.progress or args.jobs > 1 or backend == "service":
         progress = lambda line: print(f"  {line}", file=sys.stderr)
     journal = SweepJournal(_journal_path(args, journal_name), registry=registry,
                            resume=args.resume)
@@ -348,6 +362,10 @@ def _build_executor(args, journal_name: str | None = None) -> SweepExecutor:
         journal=journal,
         faults=faults,
         registry=registry,
+        backend=backend,
+        pools=pools,
+        lease_ttl=getattr(args, "lease_ttl", DEFAULT_LEASE_TTL),
+        pool_wait=getattr(args, "pool_wait", DEFAULT_POOL_WAIT),
     )
 
 
@@ -373,6 +391,10 @@ def _parse_override_value(text: str):
 
 
 def cmd_run_spec(args) -> int:
+    if args.command == "submit":
+        # ``repro submit`` is ``run-spec`` pinned to the service
+        # backend: cells ship to long-lived ``repro serve`` pools.
+        args.backend = "service"
     spec = load_spec(args.spec)
     if args.machine:
         spec = spec.with_machine(args.machine)
@@ -401,6 +423,46 @@ def cmd_run_spec(args) -> int:
         dump_json(doc, args.output)
         print(f"wrote {args.output}")
     _sweep_footer(executor)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run one long-lived sweep worker pool on a Unix socket."""
+    import signal
+
+    from .harness.service import SweepService
+
+    name = args.name or f"pool-{os.getpid()}"
+    trace = EventTrace(limit=args.limit) if args.trace else None
+    progress = None
+    if not args.quiet:
+        progress = lambda line: print(f"  {line}", file=sys.stderr)
+    svc = SweepService(
+        args.socket,
+        args.workers or None,
+        name=name,
+        trace=trace,
+        progress=progress,
+    )
+    signal.signal(signal.SIGTERM, lambda *_: svc.stop())
+    print(
+        f"repro serve: pool {name!r}, {svc.workers} worker(s), "
+        f"socket {args.socket} (protocol repro.job/1; Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        svc.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    if trace is not None:
+        trace.dump(args.trace)
+        print(f"wrote {args.trace}: {len(trace)} events", file=sys.stderr)
+    s = svc.stats()
+    print(
+        f"repro serve: {s['leased']} job(s) leased, {s['completed']} "
+        f"completed, {s['pool_rebuilds']} pool rebuild(s)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -739,6 +801,49 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the repro.experiment/1 artifact "
                              "(rows + the spec that produced them)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run a long-lived sweep worker pool: an asyncio job queue "
+             "on a Unix socket (repro.job/1) fronting a local process "
+             "pool; sweeps connect with --backend service / `repro "
+             "submit`",
+    )
+    serve.add_argument("socket", help="Unix socket path to listen on")
+    serve.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="worker processes (default: 0 = cgroup/"
+                            "affinity-aware auto-detection)")
+    serve.add_argument("--name", default=None,
+                       help="pool name announced to clients "
+                            "(default: pool-<pid>)")
+    serve.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a Chrome trace of the pool's life "
+                            "(leases, runs, results, rebuilds) on exit")
+    serve.add_argument("--limit", type=int, default=1_000_000,
+                       help="trace event-buffer cap (default 1M)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="do not narrate leases/results on stderr")
+
+    submit = sub.add_parser(
+        "submit",
+        help="run an experiment spec on repro serve worker pools "
+             "(run-spec pinned to the service backend): ships compiled "
+             "cells as leased jobs, streams progress, assembles "
+             "through the shared result cache",
+    )
+    submit.add_argument("spec", help="path to the spec file")
+    submit.add_argument("--machine", choices=machine_names(), default=None,
+                        help="run on this named machine instead of the "
+                             "spec's own")
+    submit.add_argument("--small", action="store_true",
+                        help="use every workload's quick test-size "
+                             "parameters (spec params still win)")
+    submit.add_argument("--set", action="append", default=[],
+                        metavar="PATH=VALUE",
+                        help="extra dotted-path machine override "
+                             "(repeatable)")
+    submit.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="also write the repro.experiment/1 artifact")
+
     audit = sub.add_parser(
         "audit",
         help="run the simulation auditor: invariant sweep over the "
@@ -835,12 +940,13 @@ def build_parser() -> argparse.ArgumentParser:
         "x2": "extension: creation overhead + traversal-count sweep",
     }
     for fig in ("table1", "figure4", "figure5", "figure6", "figure7", "x1",
-                "x2", "run-spec"):
-        p = sub.choices[fig] if fig == "run-spec" else sub.add_parser(
+                "x2", "run-spec", "submit"):
+        p = sub.choices[fig] if fig in ("run-spec", "submit") else sub.add_parser(
             fig, help=figure_help.get(fig, f"reproduce {fig}"))
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="run sweep cells across N worker processes "
-                            "(default: 1, serial)")
+                            "(default: 1, serial; 0 = cgroup/affinity-"
+                            "aware auto-detection)")
         p.add_argument("--no-cache", action="store_true",
                        help="do not read or write the on-disk result cache")
         p.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -867,8 +973,27 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--inject-faults", default=None, metavar="PLAN",
                        help="deterministic fault plan for robustness drills: "
                             "'bench[/variant[/engine]]=kind[:times][@sec]' "
-                            "entries (kinds: crash, hang, transient, corrupt) "
+                            "entries (kinds: crash, hang, transient, corrupt, "
+                            "crash-pool, drop-heartbeat, dup-result) "
                             "separated by commas")
+        p.add_argument("--backend", default=None, metavar="NAME",
+                       choices=("serial", "process", "service"),
+                       help="worker backend (default: serial for --jobs 1, "
+                            "the local process pool otherwise; 'service' "
+                            "leases cells to repro serve pools)")
+        p.add_argument("--pool", action="append", default=[], metavar="PATH",
+                       help="Unix socket of a repro serve worker pool "
+                            "(repeatable; implies --backend service)")
+        p.add_argument("--lease-ttl", type=float, default=DEFAULT_LEASE_TTL,
+                       metavar="SEC",
+                       help="service job lease: seconds a pool may stay "
+                            "silent before the attempt is charged "
+                            f"(default: {DEFAULT_LEASE_TTL})")
+        p.add_argument("--pool-wait", type=float, default=DEFAULT_POOL_WAIT,
+                       metavar="SEC",
+                       help="seconds the service backend waits for a worker "
+                            "pool to (re)appear before failing the remaining "
+                            f"cells (default: {DEFAULT_POOL_WAIT})")
     return parser
 
 
@@ -887,8 +1012,10 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_stats(args)
         if args.command == "trace":
             return cmd_trace(args)
-        if args.command == "run-spec":
+        if args.command in ("run-spec", "submit"):
             return cmd_run_spec(args)
+        if args.command == "serve":
+            return cmd_serve(args)
         if args.command == "audit":
             return cmd_audit(args)
         if args.command == "profile":
@@ -897,6 +1024,9 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_bench_diff(args)
         return cmd_figure(args)
     except SpecError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    except BackendError as exc:
+        # No reachable pool / unknown backend is a usage error.
         raise SystemExit(f"error: {exc}") from None
     except ConfigError as exc:
         # A bad --set path / value is a usage error, not a crash.

@@ -86,6 +86,15 @@ DEFAULT_RULES: tuple[BenchRule, ...] = (
     # (the report marks it ``cpu_limited``), not of the code under test;
     # report it, never gate on it.
     BenchRule("jobs4_scaling", "info"),
+    # Dispatch-overhead reports (BENCH_PR9): message sizes are
+    # machine-independent facts of the wire format, per-cell times are
+    # wall-clock, and the old-vs-new ratio is same-box/same-run — a
+    # real floor even under a generous CLI tolerance.
+    BenchRule("distinct_configs", "exact"),
+    BenchRule("*bytes_per_cell", "exact"),
+    BenchRule("bytes_ratio", "exact"),
+    BenchRule("*us_per_cell", "lower"),
+    BenchRule("speedup", "higher", 0.5),
 )
 
 

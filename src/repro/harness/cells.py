@@ -1,0 +1,269 @@
+"""Sweep-cell vocabulary: the unit of work every layer above shares.
+
+A sweep — whatever drives it (the serial fallback, a local process
+pool, or a remote ``repro serve`` worker pool) — is a set of
+:class:`RunSpec` cells, each one ``simulate()`` call.  This module owns
+the cell identity (hashable, content-addressed through
+:func:`repro.harness.cache.spec_key`), the cell outcome
+(:class:`CellResult`), the worker body that turns a spec into a result
+(:func:`run_cell`), and the wire form a cell travels in between
+processes (:func:`job_payload` / :func:`spec_from_payload`).
+
+The layers stack on top:
+
+* :mod:`repro.harness.scheduler` — plan → shard → dispatch →
+  deterministic plan-order assembly, owning retries/timeouts/journal
+  replay;
+* :mod:`repro.harness.backends` — the pluggable worker backends
+  (``serial`` / ``process`` / ``service``) that execute dispatched
+  cells;
+* :mod:`repro.harness.protocol` — the versioned ``repro.job/1``
+  messages the ``service`` backend speaks to ``repro serve`` pools.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..config import MachineConfig
+from ..core.characterization import characterize
+from ..cpu.simulator import simulate
+from ..errors import ReproError
+from ..isa.engines import default_sim_engine
+from ..workloads import get_workload
+from .faults import FaultPlan
+
+
+class SweepError(ReproError):
+    """An experiment asked for the result of a failed cell."""
+
+
+class CellError(str):
+    """An error traceback that also carries the exception class name, so
+    ``SweepResults.error()`` stays a plain string for callers while
+    error rows can be grepped by failure kind."""
+
+    kind: str = ""
+
+    def __new__(cls, text: str, kind: str = "") -> "CellError":
+        obj = super().__new__(cls, text)
+        obj.kind = kind
+        return obj
+
+
+def _freeze_params(params: dict[str, Any] | None) -> tuple[tuple[str, Any], ...]:
+    return tuple(sorted((params or {}).items()))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation cell: a (benchmark, variant, engine, config, params)
+    point of a sweep.  Hashable — identical cells deduplicate in a plan
+    and address the same on-disk cache entry.
+
+    ``kind`` selects the worker: ``"sim"`` runs the timing simulation and
+    returns a :class:`SimResult`; ``"table1"`` runs the Table-1
+    characterization (miss-interval collection plus the compute-time run)
+    and returns the row dict.
+
+    ``profile=True`` attaches a :class:`repro.obs.Profiler` to a ``sim``
+    cell; the serialized CPI stack / site table rides along in
+    ``SimResult.profile`` (and therefore into the result cache — the flag
+    is part of the cache key, so profiled and unprofiled runs never serve
+    each other's entries).
+
+    ``sim_engine`` is the simulation-engine registry name executing the
+    cell (:mod:`repro.isa.engines`); :meth:`make` resolves the session
+    default (``$REPRO_SIM_ENGINE``, else ``table``) eagerly so the cell
+    identity — and with it the cache key — always names a concrete
+    engine.  Engines are bit-identical, but keeping the key honest means
+    a cached result always states which implementation produced it.
+    """
+
+    benchmark: str
+    variant: str
+    engine: str
+    cfg: MachineConfig
+    params: tuple[tuple[str, Any], ...] = ()
+    kind: str = "sim"
+    profile: bool = False
+    sim_engine: str = "table"
+
+    @classmethod
+    def make(
+        cls,
+        benchmark: str,
+        variant: str,
+        engine: str,
+        cfg: MachineConfig,
+        params: dict[str, Any] | None = None,
+        kind: str = "sim",
+        profile: bool = False,
+        sim_engine: str | None = None,
+    ) -> "RunSpec":
+        return cls(
+            benchmark, variant, engine, cfg, _freeze_params(params), kind,
+            profile, sim_engine or default_sim_engine(),
+        )
+
+    @property
+    def params_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def describe(self) -> str:
+        label = f"{self.benchmark}[{self.variant}]"
+        if self.kind != "sim":
+            return f"{label} {self.kind}"
+        tag = " (compute)" if self.cfg.perfect_data_memory else ""
+        if self.profile:
+            tag += " +profile"
+        if self.sim_engine != "table":
+            tag += f" [{self.sim_engine}]"
+        return f"{label} x {self.engine}{tag}"
+
+
+@dataclass
+class CellResult:
+    """Outcome of one executed (or cache-/journal-served) cell."""
+
+    spec: RunSpec
+    result: Any = None          # SimResult for "sim", row dict for "table1"
+    error: str | None = None
+    error_kind: str | None = None   # exception class name of the failure
+    cached: bool = False            # served from the on-disk result cache
+    replayed: bool = False          # served from the resume journal
+    attempts: int = 1               # executions charged (1 = first try)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class Attempt:
+    """One scheduled execution of a cell (retries bump ``attempt``);
+    the scheduler's dispatch queues hold these."""
+
+    spec: RunSpec
+    attempt: int = 0
+    deadline: float | None = None
+
+
+def run_cell(
+    spec: RunSpec,
+    attempt: int = 0,
+    faults: FaultPlan | None = None,
+    program_factory: Callable[[], Any] | None = None,
+) -> tuple[str, ...]:
+    """Worker body: build the program and simulate.  Must stay a
+    module-level function (pickled by name into pool workers); never
+    raises — failures come back as ``("error", kind, traceback)``.
+
+    ``program_factory`` short-circuits the workload rebuild when the
+    caller holds a memoized program (the per-worker memo of
+    :mod:`repro.harness.backends`); it is consulted only after fault
+    injection so a build failure and an injected fault keep their
+    relative order."""
+    try:
+        if faults is not None:
+            faults.apply(spec, attempt)
+        if spec.kind == "table1":
+            workload = get_workload(spec.benchmark, **dict(spec.params))
+            program = workload.build(spec.variant).program
+            row, __ = characterize(
+                spec.benchmark, program, spec.cfg,
+                structure=workload.structure, idioms=workload.idioms,
+            )
+            return ("ok", row.as_dict())
+        if program_factory is not None:
+            program = program_factory()
+        else:
+            workload = get_workload(spec.benchmark, **dict(spec.params))
+            program = workload.build(spec.variant).program
+        profiler = None
+        if spec.profile:
+            from ..obs.profile import Profiler
+
+            profiler = Profiler()
+        result = simulate(program, spec.cfg, engine=spec.engine,
+                          profile=profiler, sim_engine=spec.sim_engine)
+        return ("ok", result)
+    except Exception as exc:
+        return ("error", type(exc).__name__, traceback.format_exc())
+
+
+# Back-compat alias: PR-2/PR-3 era pool workers were submitted by this
+# private name.
+_run_cell = run_cell
+
+
+# ----------------------------------------------------------------------
+# Wire form: the compact cell identity shipped between processes
+# ----------------------------------------------------------------------
+
+def job_payload(spec: RunSpec, config_id: str) -> dict[str, Any]:
+    """The JSON-safe ``repro.job/1`` body of one cell.
+
+    The machine config travels by reference (``config_id``, the SHA-256
+    of its canonical dict): workers memoize the materialized
+    :class:`MachineConfig` per id, so a thousand-cell sweep ships each
+    distinct config once instead of re-pickling it per cell."""
+    return {
+        "benchmark": spec.benchmark,
+        "variant": spec.variant,
+        "engine": spec.engine,
+        "params": [[k, v] for k, v in spec.params],
+        "kind": spec.kind,
+        "profile": spec.profile,
+        "sim_engine": spec.sim_engine,
+        "config": config_id,
+    }
+
+
+def spec_from_payload(payload: dict[str, Any], cfg: MachineConfig) -> RunSpec:
+    """Rebuild the :class:`RunSpec` a payload describes, given the
+    materialized config its ``config`` id referenced."""
+    return RunSpec(
+        benchmark=payload["benchmark"],
+        variant=payload["variant"],
+        engine=payload["engine"],
+        cfg=cfg,
+        params=tuple(sorted((k, v) for k, v in payload["params"])),
+        kind=payload.get("kind", "sim"),
+        profile=bool(payload.get("profile", False)),
+        sim_engine=payload.get("sim_engine", "table"),
+    )
+
+
+def error_row(
+    benchmark: str,
+    scheme: str,
+    err: str,
+    label_key: str = "scheme",
+) -> dict[str, object]:
+    """A ragged table row standing in for a failed cell: the last line of
+    the traceback (the exception message), the failure's exception class
+    name when known, plus the full text."""
+    brief = err.strip().splitlines()[-1] if err.strip() else "unknown error"
+    return {
+        "benchmark": benchmark,
+        label_key: scheme,
+        "error": brief,
+        "error_kind": getattr(err, "kind", "") or "",
+        "error_detail": str(err),
+    }
+
+
+__all__ = [
+    "Attempt",
+    "CellError",
+    "CellResult",
+    "RunSpec",
+    "SweepError",
+    "error_row",
+    "job_payload",
+    "run_cell",
+    "spec_from_payload",
+]

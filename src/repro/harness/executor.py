@@ -1,641 +1,74 @@
-"""Parallel, cached, fault-tolerant sweep execution for the harness.
+"""Sweep execution facade: plans, the executor, and result assembly.
 
-Every paper artifact (Table 1, Figures 4-7, the X1/X2 extensions) is a
-matrix of independent simulations.  This module decomposes such a matrix
-into :class:`RunSpec` cells — one ``simulate()`` call each — and executes
-the deduplicated plan either serially (the default, bit-identical to the
-historical single-process path) or fanned out over a
-``ProcessPoolExecutor`` (``jobs > 1``).  Guarantees:
+Historically this module was an 824-line monolith owning everything
+from the worker body to the process pool.  It is now the thin public
+face of a layered sweep service:
 
-* **Deterministic ordering** — results are keyed by spec and assembled in
-  plan order, so serial and parallel sweeps produce identical rows.
-* **Work sharing** — identical cells (e.g. the baseline compute-time run
-  needed by the base, hardware, and dbp schemes) are planned once; a
+* :mod:`repro.harness.cells` — the cell vocabulary (:class:`RunSpec`,
+  :class:`CellResult`, the ``run_cell`` worker body, wire payloads);
+* :mod:`repro.harness.scheduler` — the :class:`Scheduler` policy layer
+  (dedup, journal/cache replay, retries/timeouts/backoff, lease
+  bookkeeping, deterministic plan-order assembly);
+* :mod:`repro.harness.backends` — the pluggable worker backends
+  (``serial`` / ``process`` / ``service``) behind the ``BACKENDS``
+  registry;
+* :mod:`repro.harness.protocol` / :mod:`repro.harness.service` — the
+  ``repro.job/1`` wire format and the ``repro serve`` worker pools.
+
+:class:`SweepExecutor` *is* the scheduler (a subclass adding nothing),
+kept under its historical name because every experiment, spec, CLI
+command, and test builds one.  All semantics — ``--jobs N``,
+``--resume`` journal replay, fault drills, retry/timeout accounting —
+are preserved bit-identically; sweeps gain ``backend=``/``pools=`` for
+service execution and ``jobs=0`` for cgroup/affinity-aware
+auto-detection.
+
+Guarantees (unchanged):
+
+* **Deterministic ordering** — results are keyed by spec and assembled
+  in plan order, so serial, pooled, and service sweeps produce
+  identical rows.
+* **Work sharing** — identical cells are planned once; the
   :class:`~repro.harness.cache.ResultCache` extends the sharing across
   processes and sweeps, and a
   :class:`~repro.harness.journal.SweepJournal` checkpoints completed
   cells so an interrupted sweep resumes where it stopped.
 * **Error isolation** — a cell that raises becomes an error
-  :class:`CellResult` (traceback plus exception class name) instead of
-  aborting the sweep; experiment assembly turns it into an error row.
-* **Bounded retry with exponential backoff** — transient failures
-  (including injected ones) are retried up to ``retries`` times before
-  the final failure is preserved as the error cell.
-* **Per-cell wall-clock timeouts** — a hung worker is reaped (the pool
-  is abandoned, its processes terminated, and a fresh pool picks up the
-  surviving cells); serial execution detects the overrun after the cell
-  returns.  Either way the cell is charged a timeout attempt.
-* **Crash recovery** — a worker process dying (``BrokenProcessPool``)
-  costs every in-flight cell one attempt (the victims are
-  indistinguishable); the pool is rebuilt and the sweep continues.
-* **Clean interruption** — ``KeyboardInterrupt`` cancels pending
-  futures, shuts the pool down (``cancel_futures=True``), terminates
-  workers, and re-raises; journaled cells survive for ``--resume``.
-* **Narrated progress** — an optional ``progress`` callable receives one
-  line per completed cell.
-
-Workers rebuild the workload program from ``(benchmark, params, variant)``
-rather than unpickling it: workload builds are deterministic, programs are
-large, and the rebuild is what the cache key already identifies.
-
-Retry/timeout/crash/fault/journal activity is counted in an obs
-:class:`~repro.obs.metrics.MetricRegistry` (``sweep.*`` metrics) so the
-robustness machinery is observable, and testable, from the outside.
+  :class:`CellResult` instead of aborting the sweep.
+* **Bounded retry, per-cell timeouts, crash recovery, clean
+  interruption, narrated progress** — see :class:`Scheduler` and the
+  backends for the mechanics.
 """
 
 from __future__ import annotations
 
-import time
-import traceback
-from collections import deque
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    BrokenExecutor,
-    ProcessPoolExecutor,
-    wait,
-)
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable
+from typing import Any
 
 from ..config import MachineConfig
-from ..core.characterization import characterize
-from ..cpu.simulator import simulate
 from ..cpu.stats import SimResult
-from ..errors import ReproError
-from ..isa.engines import default_sim_engine
-from ..obs import MetricRegistry
 from ..workloads import get_workload
 from .cache import ResultCache
-from .faults import FaultPlan, mark_pool_worker
-from .journal import SweepJournal
+from .cells import (  # noqa: F401  (re-exported for back-compat)
+    Attempt,
+    CellError,
+    CellResult,
+    RunSpec,
+    SweepError,
+    _freeze_params,
+    error_row,
+    run_cell,
+)
+from .cells import _run_cell  # noqa: F401  (historical pool-worker name)
 from .runner import SchemeRun, scheme_plan
+from .scheduler import Progress, Scheduler
 
-Progress = Callable[[str], None]
-
-
-class SweepError(ReproError):
-    """An experiment asked for the result of a failed cell."""
+# Back-compat: the private attempt record under its pre-refactor name.
+_Attempt = Attempt
 
 
-class CellError(str):
-    """An error traceback that also carries the exception class name, so
-    ``SweepResults.error()`` stays a plain string for callers while
-    error rows can be grepped by failure kind."""
-
-    kind: str = ""
-
-    def __new__(cls, text: str, kind: str = "") -> "CellError":
-        obj = super().__new__(cls, text)
-        obj.kind = kind
-        return obj
-
-
-def _freeze_params(params: dict[str, Any] | None) -> tuple[tuple[str, Any], ...]:
-    return tuple(sorted((params or {}).items()))
-
-
-@dataclass(frozen=True)
-class RunSpec:
-    """One simulation cell: a (benchmark, variant, engine, config, params)
-    point of a sweep.  Hashable — identical cells deduplicate in a plan
-    and address the same on-disk cache entry.
-
-    ``kind`` selects the worker: ``"sim"`` runs the timing simulation and
-    returns a :class:`SimResult`; ``"table1"`` runs the Table-1
-    characterization (miss-interval collection plus the compute-time run)
-    and returns the row dict.
-
-    ``profile=True`` attaches a :class:`repro.obs.Profiler` to a ``sim``
-    cell; the serialized CPI stack / site table rides along in
-    ``SimResult.profile`` (and therefore into the result cache — the flag
-    is part of the cache key, so profiled and unprofiled runs never serve
-    each other's entries).
-
-    ``sim_engine`` is the simulation-engine registry name executing the
-    cell (:mod:`repro.isa.engines`); :meth:`make` resolves the session
-    default (``$REPRO_SIM_ENGINE``, else ``table``) eagerly so the cell
-    identity — and with it the cache key — always names a concrete
-    engine.  Engines are bit-identical, but keeping the key honest means
-    a cached result always states which implementation produced it.
-    """
-
-    benchmark: str
-    variant: str
-    engine: str
-    cfg: MachineConfig
-    params: tuple[tuple[str, Any], ...] = ()
-    kind: str = "sim"
-    profile: bool = False
-    sim_engine: str = "table"
-
-    @classmethod
-    def make(
-        cls,
-        benchmark: str,
-        variant: str,
-        engine: str,
-        cfg: MachineConfig,
-        params: dict[str, Any] | None = None,
-        kind: str = "sim",
-        profile: bool = False,
-        sim_engine: str | None = None,
-    ) -> "RunSpec":
-        return cls(
-            benchmark, variant, engine, cfg, _freeze_params(params), kind,
-            profile, sim_engine or default_sim_engine(),
-        )
-
-    @property
-    def params_dict(self) -> dict[str, Any]:
-        return dict(self.params)
-
-    def describe(self) -> str:
-        label = f"{self.benchmark}[{self.variant}]"
-        if self.kind != "sim":
-            return f"{label} {self.kind}"
-        tag = " (compute)" if self.cfg.perfect_data_memory else ""
-        if self.profile:
-            tag += " +profile"
-        if self.sim_engine != "table":
-            tag += f" [{self.sim_engine}]"
-        return f"{label} x {self.engine}{tag}"
-
-
-@dataclass
-class CellResult:
-    """Outcome of one executed (or cache-/journal-served) cell."""
-
-    spec: RunSpec
-    result: Any = None          # SimResult for "sim", row dict for "table1"
-    error: str | None = None
-    error_kind: str | None = None   # exception class name of the failure
-    cached: bool = False            # served from the on-disk result cache
-    replayed: bool = False          # served from the resume journal
-    attempts: int = 1               # executions charged (1 = first try)
-
-    @property
-    def ok(self) -> bool:
-        return self.error is None
-
-
-def _run_cell(
-    spec: RunSpec,
-    attempt: int = 0,
-    faults: FaultPlan | None = None,
-) -> tuple[str, ...]:
-    """Worker body: build the program and simulate.  Must stay a
-    module-level function (pickled by name into pool workers); never
-    raises — failures come back as ``("error", kind, traceback)``."""
-    try:
-        if faults is not None:
-            faults.apply(spec, attempt)
-        workload = get_workload(spec.benchmark, **dict(spec.params))
-        program = workload.build(spec.variant).program
-        if spec.kind == "table1":
-            row, __ = characterize(
-                spec.benchmark, program, spec.cfg,
-                structure=workload.structure, idioms=workload.idioms,
-            )
-            return ("ok", row.as_dict())
-        profiler = None
-        if spec.profile:
-            from ..obs.profile import Profiler
-
-            profiler = Profiler()
-        result = simulate(program, spec.cfg, engine=spec.engine,
-                          profile=profiler, sim_engine=spec.sim_engine)
-        return ("ok", result)
-    except Exception as exc:
-        return ("error", type(exc).__name__, traceback.format_exc())
-
-
-@dataclass
-class _Attempt:
-    """One scheduled execution of a cell (retries bump ``attempt``)."""
-
-    spec: RunSpec
-    attempt: int = 0
-    deadline: float | None = None
-
-
-class SweepExecutor:
-    """Executes a deduplicated list of cells, serially or in a pool,
-    with optional per-cell timeout, bounded retry, checkpoint-resume
-    journaling, and deterministic fault injection."""
-
-    def __init__(
-        self,
-        jobs: int = 1,
-        cache: ResultCache | None = None,
-        progress: Progress | None = None,
-        *,
-        timeout: float | None = None,
-        retries: int = 0,
-        backoff: float = 0.5,
-        journal: SweepJournal | None = None,
-        faults: FaultPlan | None = None,
-        registry: MetricRegistry | None = None,
-        sleep: Callable[[float], None] = time.sleep,
-    ) -> None:
-        self.jobs = max(1, jobs)
-        self.cache = cache
-        self.progress = progress
-        self.timeout = timeout
-        self.retries = max(0, retries)
-        self.backoff = backoff
-        self.journal = journal
-        self.faults = faults
-        self._sleep = sleep
-        self.registry = (
-            registry
-            or (journal.registry if journal is not None else None)
-            or (cache.registry if cache is not None else None)
-            or MetricRegistry()
-        )
-        reg = self.registry
-        self._c_retries = reg.counter(
-            "sweep.retries", help="cell attempts re-scheduled after a failure"
-        )
-        self._c_timeouts = reg.counter(
-            "sweep.timeouts", help="cell attempts abandoned past the timeout"
-        )
-        self._c_failures = reg.counter(
-            "sweep.failures", help="cells whose final attempt still failed"
-        )
-        self._c_pool_breaks = reg.counter(
-            "sweep.pool_breaks",
-            help="worker pools abandoned after a crash or hung worker",
-        )
-        self._c_faults = reg.counter(
-            "sweep.faults.injected", help="fault-plan injections performed"
-        )
-        self._c_executed = reg.counter(
-            "sweep.executed", help="cells computed by a worker this sweep"
-        )
-
-    # ------------------------------------------------------------------
-    # Bookkeeping
-    # ------------------------------------------------------------------
-
-    def _narrate(self, done: int, total: int, cell: CellResult) -> None:
-        if self.progress is None:
-            return
-        if not cell.ok:
-            status = "ERROR"
-        elif cell.replayed:
-            status = "resume hit"
-        elif cell.cached:
-            status = "cache hit"
-        elif cell.spec.kind == "sim":
-            status = f"{cell.result.cycles} cycles"
-        else:
-            status = "done"
-        if cell.attempts > 1:
-            status += f" (attempt {cell.attempts})"
-        self.progress(f"[{done}/{total}] {cell.spec.describe()}: {status}")
-
-    def _finish(self, cell: CellResult, done: int, total: int) -> CellResult:
-        cache = self.cache
-        if (
-            cache is not None
-            and cell.ok
-            and not cell.cached
-            and not cell.replayed
-            and cell.spec.kind == "sim"
-        ):
-            cache.put(cell.spec, cell.result)
-            cache.note_write()
-        if self.journal is not None and cell.ok and not cell.replayed:
-            self.journal.record(cell.spec, cell.result)
-        self._narrate(done, total, cell)
-        return cell
-
-    def _backoff_delay(self, attempt: int) -> float:
-        """Exponential: backoff, 2*backoff, 4*backoff, ... per retry."""
-        return self.backoff * (2 ** attempt)
-
-    def _note_injection(self, spec: RunSpec, attempt: int) -> None:
-        if self.faults is not None and self.faults.fires(spec, attempt):
-            self._c_faults.inc()
-
-    def _corrupt_cache_entry(self, spec: RunSpec) -> None:
-        """The ``corrupt`` fault: clobber the cell's cache entry on disk
-        so the lookup exercises the invalid-entry -> recompute path."""
-        assert self.cache is not None
-        path = self.cache.path(self.cache.key(spec))
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Valid JSON with the right schema tag but a gutted body: trips
-        # the cache's invalid-entry detection, not just a read miss.
-        path.write_text(
-            '{"schema": "repro.sim_result/1", "result": {"corrupt": true}}'
-        )
-        self._c_faults.inc()
-
-    # ------------------------------------------------------------------
-    # Execution
-    # ------------------------------------------------------------------
-
-    def execute(self, specs: Iterable[RunSpec]) -> dict[RunSpec, CellResult]:
-        """Run every distinct spec; returns ``spec -> CellResult``."""
-        plan: list[RunSpec] = []
-        seen: set[RunSpec] = set()
-        for spec in specs:
-            if spec not in seen:
-                seen.add(spec)
-                plan.append(spec)
-
-        results: dict[RunSpec, CellResult] = {}
-        todo: list[RunSpec] = []
-        cache = self.cache
-        journal = self.journal
-        for spec in plan:
-            if journal is not None:
-                replayed = journal.get(spec)
-                if replayed is not None:
-                    results[spec] = CellResult(spec, replayed, replayed=True)
-                    continue
-            if cache is not None and spec.kind == "sim":
-                if self.faults is not None and self.faults.corrupts(spec):
-                    self._corrupt_cache_entry(spec)
-                cached = cache.get(spec)
-                if cached is not None:
-                    results[spec] = CellResult(spec, cached, cached=True)
-                    continue
-            todo.append(spec)
-
-        total = len(plan)
-        done = 0
-        for spec, cell in results.items():
-            done += 1
-            if journal is not None and cell.cached:
-                journal.record(spec, cell.result)
-            self._narrate(done, total, cell)
-
-        if self.jobs == 1 or len(todo) <= 1:
-            done = self._run_serial(todo, results, done, total)
-        else:
-            done = self._run_pooled(todo, results, done, total)
-        return results
-
-    # -- serial --------------------------------------------------------
-
-    def _run_serial(
-        self,
-        todo: list[RunSpec],
-        results: dict[RunSpec, CellResult],
-        done: int,
-        total: int,
-    ) -> int:
-        for spec in todo:
-            attempt = 0
-            while True:
-                self._note_injection(spec, attempt)
-                self._c_executed.inc()
-                start = time.monotonic()
-                out = _run_cell(spec, attempt, self.faults)
-                elapsed = time.monotonic() - start
-                if out[0] == "ok" and (
-                    self.timeout is None or elapsed <= self.timeout
-                ):
-                    done += 1
-                    results[spec] = self._finish(
-                        CellResult(spec, out[1], attempts=attempt + 1),
-                        done, total,
-                    )
-                    break
-                if out[0] == "ok":
-                    # Completed, but past the wall-clock budget: a pool
-                    # would have reaped it — charge a timeout attempt
-                    # for serial/parallel parity.
-                    self._c_timeouts.inc()
-                    kind, tb = "TimeoutError", (
-                        f"TimeoutError: cell exceeded --timeout "
-                        f"{self.timeout}s (took {elapsed:.2f}s)"
-                    )
-                else:
-                    kind, tb = out[1], out[2]
-                if attempt < self.retries:
-                    self._c_retries.inc()
-                    self._sleep(self._backoff_delay(attempt))
-                    attempt += 1
-                    continue
-                self._c_failures.inc()
-                done += 1
-                results[spec] = self._finish(
-                    CellResult(spec, None, error=tb, error_kind=kind,
-                               attempts=attempt + 1),
-                    done, total,
-                )
-                break
-        return done
-
-    # -- pooled --------------------------------------------------------
-
-    @staticmethod
-    def _abandon_pool(pool: ProcessPoolExecutor) -> None:
-        """Shut a pool down without waiting on hung/dead workers: cancel
-        everything not started, then terminate the worker processes."""
-        # Snapshot the worker processes before shutdown clears the map.
-        procs = list((getattr(pool, "_processes", None) or {}).values())
-        pool.shutdown(wait=False, cancel_futures=True)
-        for proc in procs:
-            try:
-                proc.terminate()
-            except Exception:
-                pass
-        for proc in procs:
-            try:
-                proc.join(timeout=1.0)
-            except Exception:
-                pass
-
-    def _fail_or_requeue(
-        self,
-        item: _Attempt,
-        kind: str,
-        tb: str,
-        queue: deque,
-        results: dict[RunSpec, CellResult],
-        done: int,
-        total: int,
-    ) -> int:
-        """One failed attempt: requeue with backoff while the retry
-        budget lasts, else record the final error cell."""
-        if item.attempt < self.retries:
-            self._c_retries.inc()
-            self._sleep(self._backoff_delay(item.attempt))
-            queue.append(_Attempt(item.spec, item.attempt + 1))
-            return done
-        self._c_failures.inc()
-        done += 1
-        results[item.spec] = self._finish(
-            CellResult(item.spec, None, error=tb, error_kind=kind,
-                       attempts=item.attempt + 1),
-            done, total,
-        )
-        return done
-
-    def _run_pooled(
-        self,
-        todo: list[RunSpec],
-        results: dict[RunSpec, CellResult],
-        done: int,
-        total: int,
-    ) -> int:
-        queue: deque[_Attempt] = deque(_Attempt(spec) for spec in todo)
-        while queue:
-            max_inflight = min(self.jobs, len(queue))
-            pool = ProcessPoolExecutor(
-                max_workers=max_inflight,
-                initializer=mark_pool_worker,
-            )
-            abandon = False
-            try:
-                running: dict[Any, _Attempt] = {}
-                broken = False
-
-                def submit(item: _Attempt) -> None:
-                    self._note_injection(item.spec, item.attempt)
-                    self._c_executed.inc()
-                    if self.timeout is not None:
-                        item.deadline = time.monotonic() + self.timeout
-                    fut = pool.submit(
-                        _run_cell, item.spec, item.attempt, self.faults
-                    )
-                    running[fut] = item
-
-                def refill() -> None:
-                    # Keep at most one cell per worker in flight, so a
-                    # deadline measures *run* time: a cell parked in the
-                    # pool's internal queue must not burn its budget.
-                    while queue and not broken and len(running) < max_inflight:
-                        submit(queue.popleft())
-
-                refill()
-                while running:
-                    wait_for = None
-                    if self.timeout is not None:
-                        wait_for = max(
-                            0.0,
-                            min(i.deadline for i in running.values())
-                            - time.monotonic(),
-                        )
-                    finished, __ = wait(
-                        set(running), timeout=wait_for,
-                        return_when=FIRST_COMPLETED,
-                    )
-                    if not finished:
-                        # A deadline expired with nothing completing:
-                        # the worker is hung.  Its process cannot be
-                        # recovered individually, so charge the timed-out
-                        # cells an attempt, requeue the innocent
-                        # bystanders untouched, and abandon the pool.
-                        now = time.monotonic()
-                        expired = [
-                            fut for fut, item in running.items()
-                            if item.deadline is not None
-                            and item.deadline <= now
-                        ]
-                        if not expired:
-                            continue
-                        for fut in expired:
-                            item = running.pop(fut)
-                            self._c_timeouts.inc()
-                            tb = (
-                                f"TimeoutError: cell exceeded --timeout "
-                                f"{self.timeout}s "
-                                f"(attempt {item.attempt + 1}); "
-                                "hung worker terminated"
-                            )
-                            done = self._fail_or_requeue(
-                                item, "TimeoutError", tb, queue,
-                                results, done, total,
-                            )
-                        for item in running.values():
-                            queue.append(item)
-                        self._c_pool_breaks.inc()
-                        abandon = True
-                        break
-                    for fut in finished:
-                        item = running.pop(fut)
-                        try:
-                            out = fut.result()
-                        except BrokenExecutor:
-                            # A worker died; every in-flight future of
-                            # this pool fails with it and the victims are
-                            # indistinguishable, so each is charged one
-                            # attempt.  Rebuild the pool afterwards.
-                            if not broken:
-                                self._c_pool_breaks.inc()
-                                broken = True
-                            done = self._fail_or_requeue(
-                                item, "BrokenProcessPool",
-                                traceback.format_exc(), queue,
-                                results, done, total,
-                            )
-                            continue
-                        except Exception as exc:
-                            # The payload failed to unpickle (or another
-                            # local fault); isolate it as a failed
-                            # attempt of this cell only.
-                            done = self._fail_or_requeue(
-                                item, type(exc).__name__,
-                                traceback.format_exc(), queue,
-                                results, done, total,
-                            )
-                            continue
-                        if out[0] == "ok":
-                            done += 1
-                            results[item.spec] = self._finish(
-                                CellResult(item.spec, out[1],
-                                           attempts=item.attempt + 1),
-                                done, total,
-                            )
-                        else:
-                            done = self._fail_or_requeue(
-                                item, out[1], out[2], queue,
-                                results, done, total,
-                            )
-                    # Waiting cells (and retries requeued above) go to
-                    # the current pool while it is healthy.
-                    refill()
-                    if broken:
-                        for item in running.values():
-                            queue.append(item)
-                        abandon = True
-                        break
-            except BaseException:
-                # KeyboardInterrupt (or any unexpected error) must not
-                # leave orphaned workers: cancel pending futures and
-                # tear the pool down before propagating.
-                self._abandon_pool(pool)
-                raise
-            else:
-                if abandon:
-                    self._abandon_pool(pool)
-                else:
-                    pool.shutdown(wait=True)
-        return done
-
-    # ------------------------------------------------------------------
-
-    def stats(self) -> dict[str, int]:
-        return {
-            "executed": self._c_executed.value,
-            "retries": self._c_retries.value,
-            "timeouts": self._c_timeouts.value,
-            "failures": self._c_failures.value,
-            "pool_breaks": self._c_pool_breaks.value,
-            "faults_injected": self._c_faults.value,
-        }
-
-    def describe(self) -> str:
-        s = self.stats()
-        return (
-            f"sweep: {s['executed']} cells executed, {s['retries']} retries, "
-            f"{s['timeouts']} timeouts, {s['failures']} failures, "
-            f"{s['pool_breaks']} pool restarts"
-        )
+class SweepExecutor(Scheduler):
+    """The sweep scheduler under its historical public name."""
 
 
 # ----------------------------------------------------------------------
@@ -752,8 +185,8 @@ class SweepPlan:
         executor: SweepExecutor | None = None,
     ) -> "SweepResults":
         """Execute the collected cells.  A fully-configured ``executor``
-        (timeout/retry/journal/faults) takes precedence over the simple
-        ``jobs``/``cache``/``progress`` shorthand."""
+        (timeout/retry/journal/faults/backend) takes precedence over the
+        simple ``jobs``/``cache``/``progress`` shorthand."""
         if executor is None:
             executor = SweepExecutor(jobs=jobs, cache=cache, progress=progress)
         return SweepResults(executor.execute(self._specs))
@@ -805,20 +238,17 @@ class SweepResults:
         )
 
 
-def error_row(
-    benchmark: str,
-    scheme: str,
-    err: str,
-    label_key: str = "scheme",
-) -> dict[str, object]:
-    """A ragged table row standing in for a failed cell: the last line of
-    the traceback (the exception message), the failure's exception class
-    name when known, plus the full text."""
-    brief = err.strip().splitlines()[-1] if err.strip() else "unknown error"
-    return {
-        "benchmark": benchmark,
-        label_key: scheme,
-        "error": brief,
-        "error_kind": getattr(err, "kind", "") or "",
-        "error_detail": str(err),
-    }
+__all__ = [
+    "CellError",
+    "CellResult",
+    "Progress",
+    "RunSpec",
+    "ScheduledRun",
+    "Scheduler",
+    "SweepError",
+    "SweepExecutor",
+    "SweepPlan",
+    "SweepResults",
+    "error_row",
+    "run_cell",
+]

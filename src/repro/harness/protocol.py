@@ -1,0 +1,191 @@
+"""``repro.job/1`` — the versioned wire protocol of the sweep service.
+
+Framing is newline-delimited JSON over a local stream socket (one
+message per line, UTF-8), the same shape as the ``repro.journal/1``
+checkpoint file: trivially inspectable with ``tail -f`` and immune to
+partial-read ambiguity.  Every message carries ``{"v": "repro.job/1",
+"type": ...}``; both sides reject a version they do not speak instead
+of guessing.
+
+Message types (client = ``repro submit`` / the ``service`` backend,
+server = one ``repro serve`` worker pool):
+
+========== ====== =====================================================
+type       dir    meaning
+========== ====== =====================================================
+hello      s → c  pool identity: name, worker count, protocol version
+config     c → s  register one MachineConfig dict under its content id
+submit     c → s  one cell as a job: compact payload (config by
+                  reference), attempt number, per-cell timeout, lease
+                  TTL, worker-fault text, optional service-fault
+                  directive
+lease      s → c  the job was accepted; its lease must now be kept
+                  alive by heartbeats
+heartbeat  s → c  periodic liveness for every job the pool holds
+progress   s → c  a job started running (streamed narration)
+result     s → c  terminal outcome: ``ok`` with the serialized result,
+                  or ``error`` with kind + traceback
+========== ====== =====================================================
+
+Job ids are ``<spec-key>:<attempt>`` — the content-addressed cache key
+plus the attempt ordinal — so a retry is a *different* job and a stale
+result from a previous attempt can never satisfy it (the client counts
+such arrivals as duplicates and drops them).
+
+Results cross the wire in their artifact forms: ``sim`` cells as
+``SimResult.to_dict()`` documents, ``table1`` cells as plain row dicts
+— exactly what the journal and result cache already persist.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from ..cpu.stats import SimResult
+from ..errors import ReproError
+
+#: Protocol version tag carried by every message (alongside
+#: ``repro.journal/1`` for the checkpoint file and
+#: ``repro.sim_result/1`` for cache entries).
+PROTOCOL = "repro.job/1"
+
+#: Hard cap on one encoded message line.  A submit is a few hundred
+#: bytes and a result a few KB; the cap only guards against a confused
+#: peer streaming garbage into memory.
+MAX_LINE = 8 * 1024 * 1024
+
+
+class ProtocolError(ReproError):
+    """A malformed or version-incompatible ``repro.job/1`` message."""
+
+
+def job_id(spec_key: str, attempt: int) -> str:
+    return f"{spec_key}:{attempt}"
+
+
+def message(type_: str, **fields: Any) -> dict[str, Any]:
+    return {"v": PROTOCOL, "type": type_, **fields}
+
+
+def encode(msg: dict[str, Any]) -> bytes:
+    return json.dumps(msg, separators=(",", ":")).encode() + b"\n"
+
+
+def decode(line: bytes) -> dict[str, Any]:
+    try:
+        msg = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"undecodable message line: {exc}") from None
+    if not isinstance(msg, dict) or "type" not in msg:
+        raise ProtocolError(f"message is not a typed object: {line[:80]!r}")
+    if msg.get("v") != PROTOCOL:
+        raise ProtocolError(
+            f"protocol mismatch: peer speaks {msg.get('v')!r}, "
+            f"this side speaks {PROTOCOL!r}"
+        )
+    return msg
+
+
+# ----------------------------------------------------------------------
+# Result payload serde (shared with journal/cache artifact forms)
+# ----------------------------------------------------------------------
+
+def encode_result(kind: str, result: Any) -> Any:
+    """Wire form of one ok result (``SimResult`` document or row dict)."""
+    if kind == "sim":
+        return result.to_dict()
+    return result
+
+
+def decode_result(kind: str, data: Any) -> Any:
+    if kind == "sim":
+        return SimResult.from_dict(data)
+    if not isinstance(data, dict):
+        raise ProtocolError(f"non-dict {kind!r} result payload")
+    return data
+
+
+# ----------------------------------------------------------------------
+# Blocking-socket line channel (the client side)
+# ----------------------------------------------------------------------
+
+class ChannelClosed(ProtocolError):
+    """The peer closed the connection (pool death, mid-line cut)."""
+
+
+class LineChannel:
+    """Line-framed message channel over a non-blocking socket.
+
+    The client multiplexes several pool connections through a
+    ``selectors`` loop; this wrapper owns the per-connection receive
+    buffer and decodes complete lines as they arrive."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._buf = b""
+        sock.setblocking(False)
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    def send(self, msg: dict[str, Any]) -> None:
+        """Send one message (blocking until fully written)."""
+        data = encode(msg)
+        self.sock.setblocking(True)
+        try:
+            self.sock.sendall(data)
+        finally:
+            self.sock.setblocking(False)
+
+    def receive(self) -> list[dict[str, Any]]:
+        """Drain whatever the socket holds; returns the complete
+        messages received.  Raises :class:`ChannelClosed` on EOF."""
+        closed = False
+        while True:
+            try:
+                chunk = self.sock.recv(65536)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError as exc:
+                raise ChannelClosed(f"connection lost: {exc}") from None
+            if not chunk:
+                closed = True
+                break
+            self._buf += chunk
+            if len(self._buf) > MAX_LINE:
+                raise ProtocolError(
+                    f"message line exceeds {MAX_LINE} bytes"
+                )
+        msgs = []
+        while b"\n" in self._buf:
+            line, self._buf = self._buf.split(b"\n", 1)
+            if line.strip():
+                msgs.append(decode(line))
+        if closed and not msgs:
+            # Buffered messages (if any) drain first; the next receive()
+            # hits the EOF again and raises then.
+            raise ChannelClosed("pool closed the connection")
+        return msgs
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+__all__ = [
+    "ChannelClosed",
+    "LineChannel",
+    "MAX_LINE",
+    "PROTOCOL",
+    "ProtocolError",
+    "decode",
+    "decode_result",
+    "encode",
+    "encode_result",
+    "job_id",
+    "message",
+]

@@ -1,0 +1,702 @@
+"""The sweep service: ``repro serve`` worker pools and the ``service``
+backend that leases cells to them.
+
+Topology: each ``repro serve`` process is one long-lived **worker
+pool** — an asyncio front end on a Unix stream socket fronting a local
+``ProcessPoolExecutor`` — and a sweep client (``repro submit``, or any
+figure command with ``--backend service``) connects to one or more
+pools and streams cells to them as leased jobs over the
+:mod:`repro.harness.protocol` wire format (``repro.job/1``).
+
+Division of responsibility:
+
+* The **pool** executes jobs and proves liveness: it leases every
+  accepted job, heartbeats all held leases at ``ttl/4``, reaps its own
+  hung workers (per-job timeout → pool abandoned and rebuilt, like the
+  local process backend), and converts worker crashes into
+  ``BrokenProcessPool`` error results.  It holds no sweep state: a pool
+  can serve any number of sweeps, sequentially or interleaved, and be
+  killed at any moment without losing anything but in-flight work.
+* The **client** (the :class:`ServiceBackend` driven by the scheduler)
+  owns correctness: retries, lease-expiry detection (no heartbeat
+  within TTL → the attempt is charged and the cell re-queued),
+  idempotent result assembly (a job id is ``spec-key:attempt``; stale
+  or duplicate arrivals are counted and dropped), failover (a dead
+  pool's jobs re-queue uncharged onto surviving pools), and waiting up
+  to ``pool_wait`` seconds for a replacement pool before failing the
+  remainder.  Completed cells flow through the shared
+  :class:`~repro.harness.cache.ResultCache` and
+  :class:`~repro.harness.journal.SweepJournal` exactly as local
+  execution does — which is what makes a sweep spanning two worker
+  pools resume with zero recompute.
+
+Fault drill hooks: service-layer fault kinds (``crash-pool`` /
+``drop-heartbeat`` / ``dup-result``) are evaluated deterministically by
+the *client* per job submission and shipped as directives; the pool
+honors them so drills need no server-side configuration.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import selectors
+import socket
+import time
+import traceback
+from collections import deque
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from ..obs import MetricRegistry
+from ..obs.trace import EventTrace
+from .backends import (
+    BACKENDS,
+    BackendError,
+    ProcessPoolBackend,
+    WorkerBackend,
+    detect_cpus,
+    dispatch_tables,
+    _init_pool_worker,
+    _pool_run_job,
+)
+from .cache import spec_key
+from .cells import Attempt, CellResult, RunSpec
+from .faults import DEFAULT_HANG_SECONDS
+from .protocol import (
+    ChannelClosed,
+    LineChannel,
+    MAX_LINE,
+    ProtocolError,
+    decode,
+    decode_result,
+    encode,
+    encode_result,
+    job_id,
+    message,
+)
+
+#: Fallback heartbeat interval before the first submit names a TTL.
+_DEFAULT_HEARTBEAT = 1.0
+
+
+# ======================================================================
+# Server: one worker pool
+# ======================================================================
+
+class _Session:
+    """Per-connection server state."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.configs: dict[str, dict[str, Any]] = {}
+        self.jobs: dict[str, dict[str, Any]] = {}   # leased + running
+        self.tasks: set[asyncio.Task] = set()
+        self.heartbeat_interval = _DEFAULT_HEARTBEAT
+
+
+class SweepService:
+    """One ``repro serve`` worker pool.
+
+    ``workers`` defaults to the cgroup/affinity-aware CPU count.  The
+    service keeps obs counters (``serve.*``) and a wall-clock
+    :class:`~repro.obs.trace.EventTrace` on the ``service`` lane so a
+    pool's life (leases, job starts, results, pool rebuilds) is
+    inspectable in the same Chrome-trace tooling as simulations.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | os.PathLike,
+        workers: int | None = None,
+        *,
+        name: str = "pool",
+        registry: MetricRegistry | None = None,
+        trace: EventTrace | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        self.socket_path = Path(socket_path)
+        self.workers = workers or detect_cpus()
+        self.name = name
+        self.registry = registry or MetricRegistry()
+        self.trace = trace
+        self.progress = progress
+        self._pool: ProcessPoolExecutor | None = None
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._sessions: set[_Session] = set()
+        self._started = time.monotonic()
+        # crash-pool directive hook: a real pool dies on the spot; tests
+        # running the service in a thread substitute a soft shutdown.
+        self._die: Callable[[], None] = lambda: os._exit(13)
+        reg = self.registry
+        self._c_leased = reg.counter(
+            "serve.leased", help="jobs leased to this pool"
+        )
+        self._c_completed = reg.counter(
+            "serve.completed", help="job results sent by this pool"
+        )
+        self._c_rebuilds = reg.counter(
+            "serve.pool_rebuilds", help="worker pools rebuilt after crash/hang"
+        )
+
+    # -- observability --------------------------------------------------
+
+    def _event(self, event: str, **args: Any) -> None:
+        if self.trace is not None:
+            ts = int((time.monotonic() - self._started) * 1000)
+            self.trace.instant(event, ts, cat="service", **args)
+        if self.progress is not None:
+            detail = " ".join(f"{k}={v}" for k, v in args.items())
+            self.progress(f"serve[{self.name}] {event} {detail}".rstrip())
+
+    # -- worker pool ----------------------------------------------------
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_pool_worker,
+            initargs=(None, None),
+        )
+
+    def _break_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Abandon a crashed/hung worker pool and stand up a fresh one."""
+        if self._pool is pool:
+            self._pool = self._make_pool()
+            self._c_rebuilds.inc()
+            self._event("pool-rebuild")
+        ProcessPoolBackend._abandon_pool(pool)
+
+    # -- connection handling -------------------------------------------
+
+    async def _send(self, session: _Session, msg: dict[str, Any]) -> None:
+        async with session.lock:
+            session.writer.write(encode(msg))
+            await session.writer.drain()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session = _Session(writer)
+        self._sessions.add(session)
+        heartbeat = asyncio.create_task(self._heartbeat_loop(session))
+        try:
+            await self._send(
+                session,
+                message("hello", pool=self.name, workers=self.workers),
+            )
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    msg = decode(line)
+                except ProtocolError:
+                    break  # confused peer: drop the connection
+                if msg["type"] == "config":
+                    session.configs[msg["id"]] = msg["data"]
+                elif msg["type"] == "submit":
+                    await self._accept(session, msg)
+                # unknown forward-compatible types are ignored
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown with the client still connected: swallow
+            # so loop teardown does not log a spurious task exception.
+            pass
+        finally:
+            self._sessions.discard(session)
+            heartbeat.cancel()
+            for task in list(session.tasks):
+                task.cancel()
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _heartbeat_loop(self, session: _Session) -> None:
+        while True:
+            await asyncio.sleep(session.heartbeat_interval)
+            ids = list(session.jobs)
+            if not ids:
+                continue
+            try:
+                await self._send(session, message("heartbeat", ids=ids))
+            except (ConnectionError, RuntimeError):
+                return
+
+    async def _accept(self, session: _Session, msg: dict[str, Any]) -> None:
+        jid = msg["id"]
+        ttl = float(msg.get("ttl") or 15.0)
+        session.heartbeat_interval = min(
+            session.heartbeat_interval, max(0.05, ttl / 4.0)
+        )
+        directive = msg.get("directive")
+        await self._send(session, message("lease", id=jid, ttl=ttl))
+        self._c_leased.inc()
+        self._event("lease", id=jid[:20])
+        if directive == "crash-pool":
+            # The whole pool dies right after leasing: the drill for
+            # client-side failover.  Flush the lease first so the client
+            # observes lease-then-silence, not a rejected submit.
+            self._event("crash-pool", id=jid[:20])
+            self._die()
+            return
+        if directive == "drop-heartbeat":
+            # Lease granted, then the job is blackholed: never runs,
+            # never heartbeats (it is not in session.jobs), never
+            # resolves.  The client's lease TTL must expire it.
+            self._event("drop-heartbeat", id=jid[:20])
+            return
+        session.jobs[jid] = msg
+        task = asyncio.create_task(self._run_job(session, jid, msg))
+        session.tasks.add(task)
+        task.add_done_callback(session.tasks.discard)
+
+    async def _run_job(
+        self, session: _Session, jid: str, msg: dict[str, Any]
+    ) -> None:
+        payload = msg["job"]
+        attempt = int(msg.get("attempt", 0))
+        cfg_data = session.configs.get(payload["config"])
+        fault_text = msg.get("faults") or ""
+        hang_seconds = float(msg.get("hang_seconds") or DEFAULT_HANG_SECONDS)
+        timeout = msg.get("timeout")
+        loop = asyncio.get_running_loop()
+        assert self._pool is not None
+        pool = self._pool
+        self._event("run", id=jid[:20])
+        try:
+            await self._send(session, message("progress", id=jid, note="running"))
+            fut = loop.run_in_executor(
+                pool, _pool_run_job, payload, attempt, cfg_data,
+                fault_text, hang_seconds,
+            )
+            if timeout is not None:
+                out = await asyncio.wait_for(fut, timeout=float(timeout))
+            else:
+                out = await fut
+        except asyncio.TimeoutError:
+            # Hung worker: reap the whole pool (a single worker cannot
+            # be recovered) and report the timeout; the client charges
+            # the attempt exactly like the local backend's reaping.
+            self._break_pool(pool)
+            out = (
+                "error", "TimeoutError",
+                f"TimeoutError: cell exceeded --timeout {timeout}s "
+                f"(attempt {attempt + 1}); hung worker terminated by pool "
+                f"{self.name!r}",
+            )
+        except BrokenExecutor:
+            self._break_pool(pool)
+            out = ("error", "BrokenProcessPool", traceback.format_exc())
+        except asyncio.CancelledError:
+            session.jobs.pop(jid, None)
+            raise
+        except Exception:
+            out = ("error", "ServiceError", traceback.format_exc())
+        session.jobs.pop(jid, None)
+        if out[0] == "ok":
+            kind = payload.get("kind", "sim")
+            result = message(
+                "result", id=jid, status="ok", kind=kind,
+                data=encode_result(kind, out[1]),
+            )
+        else:
+            result = message(
+                "result", id=jid, status="error",
+                error_kind=out[1], traceback=out[2],
+            )
+        # Count the completion before the awaited send: the client may
+        # read the result and finish the whole sweep (and a caller may
+        # inspect ``stats()``) before this coroutine is scheduled again.
+        self._c_completed.inc()
+        try:
+            await self._send(session, result)
+            self._event("result", id=jid[:20], status=out[0])
+            if msg.get("directive") == "dup-result":
+                # Deliver the result a second time: the client's
+                # idempotent assembly must count and drop it.
+                await self._send(session, result)
+                self._event("dup-result", id=jid[:20])
+        except (ConnectionError, RuntimeError):
+            pass  # client went away; its retry machinery owns the cell
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def _amain(self, ready: Callable[[], None] | None = None) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._pool = self._make_pool()
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        self.socket_path.unlink(missing_ok=True)
+        server = await asyncio.start_unix_server(
+            self._handle, path=str(self.socket_path), limit=MAX_LINE
+        )
+        self._event("serving", path=str(self.socket_path),
+                    workers=self.workers)
+        if ready is not None:
+            ready()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            # Hard-close surviving connections NOW, at the OS level:
+            # both ``transport.close()`` and ``transport.abort()`` only
+            # *schedule* the real fd teardown via ``call_soon``, and a
+            # loop that is stopping (with worker futures still in
+            # flight) never runs it — the client would then observe
+            # pool death as a lease quietly timing out instead of an
+            # immediate EOF, and its jobs would be charged rather than
+            # failed over.  ``socket.shutdown`` sends the FIN
+            # synchronously regardless of loop state.
+            for session in list(self._sessions):
+                transport = session.writer.transport
+                try:
+                    sock = transport.get_extra_info("socket")
+                    if sock is not None:
+                        sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    transport.abort()
+                except Exception:
+                    pass
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+            self.socket_path.unlink(missing_ok=True)
+
+    def serve_forever(self, ready: Callable[[], None] | None = None) -> None:
+        """Run the pool until :meth:`stop` (blocking; owns the loop)."""
+        asyncio.run(self._amain(ready))
+
+    def stop(self) -> None:
+        """Request shutdown (thread-safe; idempotent — stopping a pool
+        that already shut down is a no-op)."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # loop already closed
+
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "leased": self._c_leased.value,
+            "completed": self._c_completed.value,
+            "pool_rebuilds": self._c_rebuilds.value,
+        }
+
+
+# ======================================================================
+# Client: the "service" worker backend
+# ======================================================================
+
+@dataclass
+class _PoolConn:
+    """Client-side state for one connected pool."""
+
+    path: str
+    chan: LineChannel
+    pool_name: str = "?"
+    workers: int = 0
+    sent_configs: set[str] = field(default_factory=set)
+    jobs: dict[str, Attempt] = field(default_factory=dict)
+    deadlines: dict[str, float] = field(default_factory=dict)
+
+
+class ServiceBackend(WorkerBackend):
+    """Leases the scheduler's cells to ``repro serve`` pools.
+
+    Dispatch is least-loaded across connected pools (which converges to
+    the scheduler's round-robin :meth:`~Scheduler.shard` split for
+    equal pools); every submission is tracked as a lease whose deadline
+    is pushed forward by pool heartbeats.  Loss of a pool re-queues its
+    jobs uncharged; loss of a *heartbeat* (TTL expiry) charges the
+    attempt, because the job's fate is unknown — exactly the
+    at-least-once regime the idempotent journal/cache make safe."""
+
+    name = "service"
+
+    #: Seconds between reconnect sweeps over unconnected pool paths.
+    RECONNECT_INTERVAL = 0.25
+    #: selectors timeout — the cadence of expiry/reconnect checks.
+    TICK = 0.25
+
+    def run(
+        self,
+        sched,
+        todo: list[RunSpec],
+        results: dict[RunSpec, CellResult],
+        done: int,
+        total: int,
+    ) -> int:
+        paths = [str(p) for p in sched.pools]
+        if not paths:
+            raise BackendError(
+                "service backend needs at least one pool socket "
+                "(--pool PATH; start one with `repro serve`)"
+            )
+        ttl = float(sched.lease_ttl)
+        config_table, payloads = dispatch_tables(todo)
+        keys = {spec: spec_key(spec) for spec in todo}
+        worker_faults = (
+            sched.faults.worker_specs() if sched.faults is not None else None
+        )
+        fault_text = worker_faults.describe() if worker_faults else ""
+        hang_seconds = (
+            sched.faults.hang_seconds if sched.faults is not None
+            else DEFAULT_HANG_SECONDS
+        )
+
+        queue: deque[Attempt] = deque(Attempt(spec) for spec in todo)
+        # Service-fault directives fire once per (cell, attempt): a job
+        # re-queued *uncharged* (its pool died — which is exactly what
+        # ``crash-pool`` causes) keeps its attempt number, and
+        # re-injecting on the resubmission would cascade the drill
+        # through every surviving pool.
+        injected: set[tuple[RunSpec, int]] = set()
+        conns: dict[str, _PoolConn] = {}
+        sel = selectors.DefaultSelector()
+        last_connect = 0.0
+        no_pool_since: float | None = None
+
+        def outstanding() -> int:
+            return sum(len(c.jobs) for c in conns.values())
+
+        def drop_conn(conn: _PoolConn) -> None:
+            """A pool died: its jobs re-queue uncharged (nothing about
+            the *cells* failed — the infrastructure did)."""
+            try:
+                sel.unregister(conn.chan)
+            except (KeyError, ValueError):
+                pass
+            conn.chan.close()
+            conns.pop(conn.path, None)
+            sched._c_pool_breaks.inc()
+            for item in conn.jobs.values():
+                queue.append(item)
+            conn.jobs.clear()
+            conn.deadlines.clear()
+
+        def submit(conn: _PoolConn, item: Attempt) -> None:
+            spec = item.spec
+            cid = payloads[spec]["config"]
+            if cid not in conn.sent_configs:
+                conn.chan.send(
+                    message("config", id=cid, data=config_table[cid])
+                )
+                conn.sent_configs.add(cid)
+            directive = None
+            if sched.faults is not None:
+                rule = sched.faults.service_rule(spec, item.attempt)
+                if rule is not None and (spec, item.attempt) not in injected:
+                    injected.add((spec, item.attempt))
+                    directive = rule.kind
+                    sched._c_faults.inc()
+            sched._note_injection(spec, item.attempt)
+            sched._c_executed.inc()
+            jid = job_id(keys[spec], item.attempt)
+            conn.chan.send(message(
+                "submit", id=jid, job=payloads[spec], attempt=item.attempt,
+                timeout=sched.timeout, ttl=ttl, faults=fault_text,
+                hang_seconds=hang_seconds, directive=directive,
+            ))
+            conn.jobs[jid] = item
+            # Provisional deadline until the lease (and heartbeats)
+            # start arriving: a pool that accepts the connection but
+            # never answers must not pin the sweep.
+            conn.deadlines[jid] = time.monotonic() + ttl
+
+        def handle(conn: _PoolConn, msg: dict[str, Any]) -> int:
+            nonlocal done
+            mtype = msg["type"]
+            if mtype == "lease":
+                jid = msg["id"]
+                if jid in conn.jobs:
+                    conn.deadlines[jid] = (
+                        time.monotonic() + float(msg.get("ttl") or ttl)
+                    )
+                    sched._c_leases.inc()
+            elif mtype == "heartbeat":
+                now = time.monotonic()
+                touched = False
+                for jid in msg.get("ids", ()):
+                    if jid in conn.jobs:
+                        conn.deadlines[jid] = now + ttl
+                        touched = True
+                if touched:
+                    sched._c_heartbeats.inc()
+            elif mtype == "result":
+                jid = msg["id"]
+                item = conn.jobs.pop(jid, None)
+                conn.deadlines.pop(jid, None)
+                if item is None:
+                    # Duplicate delivery, or a result for a lease this
+                    # client already expired: idempotently dropped.
+                    sched._c_dup_results.inc()
+                    return done
+                if msg.get("status") == "ok":
+                    try:
+                        result = decode_result(msg["kind"], msg["data"])
+                    except (ProtocolError, KeyError, TypeError, ValueError):
+                        return sched._fail_or_requeue(
+                            item, "ProtocolError", traceback.format_exc(),
+                            queue, results, done, total,
+                        )
+                    done += 1
+                    results[item.spec] = sched._finish(
+                        CellResult(item.spec, result,
+                                   attempts=item.attempt + 1),
+                        done, total,
+                    )
+                else:
+                    done = sched._fail_or_requeue(
+                        item, msg.get("error_kind") or "ServiceError",
+                        msg.get("traceback") or "(no traceback)",
+                        queue, results, done, total,
+                    )
+            # hello / progress are informational
+            return done
+
+        try:
+            while queue or outstanding():
+                now = time.monotonic()
+
+                # (Re)connect to any configured pool we lost or have
+                # not reached yet.
+                if now - last_connect >= self.RECONNECT_INTERVAL:
+                    last_connect = now
+                    for path in paths:
+                        if path in conns:
+                            continue
+                        conn = self._connect(path)
+                        if conn is not None:
+                            conns[path] = conn
+                            sel.register(
+                                conn.chan, selectors.EVENT_READ, conn
+                            )
+
+                if not conns:
+                    if no_pool_since is None:
+                        no_pool_since = now
+                    if now - no_pool_since > sched.pool_wait:
+                        # Out of pools and out of patience: fail every
+                        # remaining cell explicitly.
+                        remaining = list(queue)
+                        queue.clear()
+                        for item in remaining:
+                            sched._c_failures.inc()
+                            done += 1
+                            results[item.spec] = sched._finish(
+                                CellResult(
+                                    item.spec, None,
+                                    error=(
+                                        "PoolUnavailable: no worker pool "
+                                        f"reachable for {sched.pool_wait}s "
+                                        f"(tried: {', '.join(paths)})"
+                                    ),
+                                    error_kind="PoolUnavailable",
+                                    attempts=item.attempt + 1,
+                                ),
+                                done, total,
+                            )
+                        break
+                    time.sleep(min(self.TICK, 0.1))
+                    continue
+                no_pool_since = None
+
+                # Dispatch queued work to the least-loaded pools.
+                while queue and conns:
+                    conn = min(conns.values(), key=lambda c: len(c.jobs))
+                    item = queue.popleft()
+                    try:
+                        submit(conn, item)
+                    except (ChannelClosed, ProtocolError, OSError):
+                        queue.appendleft(item)
+                        drop_conn(conn)
+                        if not conns:
+                            break
+
+                # Collect messages.
+                dead: list[_PoolConn] = []
+                for key, __ in sel.select(timeout=self.TICK):
+                    conn = key.data
+                    try:
+                        msgs = conn.chan.receive()
+                    except (ChannelClosed, ProtocolError):
+                        dead.append(conn)
+                        continue
+                    for msg in msgs:
+                        done = handle(conn, msg)
+                for conn in dead:
+                    drop_conn(conn)
+
+                # Expire silent leases: no heartbeat within TTL means
+                # the job's fate is unknown — charge the attempt.
+                now = time.monotonic()
+                for conn in list(conns.values()):
+                    expired = [
+                        jid for jid, deadline in conn.deadlines.items()
+                        if deadline <= now
+                    ]
+                    for jid in expired:
+                        item = conn.jobs.pop(jid, None)
+                        conn.deadlines.pop(jid, None)
+                        if item is None:
+                            continue
+                        sched._c_lease_expiries.inc()
+                        done = sched._fail_or_requeue(
+                            item, "LeaseExpired",
+                            (
+                                f"LeaseExpired: no heartbeat from pool "
+                                f"{conn.pool_name!r} within {ttl}s for "
+                                f"{item.spec.describe()} "
+                                f"(attempt {item.attempt + 1})"
+                            ),
+                            queue, results, done, total,
+                        )
+        finally:
+            for conn in list(conns.values()):
+                conn.chan.close()
+            sel.close()
+        return done
+
+    def _connect(self, path: str) -> _PoolConn | None:
+        """One connection attempt; None when the pool is not up yet."""
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(1.0)
+        try:
+            sock.connect(path)
+        except OSError:
+            sock.close()
+            return None
+        chan = LineChannel(sock)
+        conn = _PoolConn(path=path, chan=chan)
+        # The hello arrives promptly (the server sends it on accept);
+        # wait briefly so the protocol version is checked before any
+        # job is entrusted to this pool.
+        deadline = time.monotonic() + 2.0
+        try:
+            while time.monotonic() < deadline:
+                for msg in chan.receive():
+                    if msg["type"] == "hello":
+                        conn.pool_name = msg.get("pool", "?")
+                        conn.workers = int(msg.get("workers") or 0)
+                        return conn
+                time.sleep(0.01)
+        except (ChannelClosed, ProtocolError):
+            pass
+        chan.close()
+        return None
+
+
+BACKENDS.register("service", ServiceBackend)
+
+
+__all__ = ["ServiceBackend", "SweepService"]
