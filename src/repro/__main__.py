@@ -19,6 +19,8 @@ Examples::
     python -m repro run treeadd --scheme software --param levels=9 --param passes=2
     python -m repro run-spec examples/specs/figure5.toml --jobs 4
     python -m repro run-spec mysweep.toml --small -o result.json
+    python -m repro tournament --small --jobs 4  # scheme zoo, ranked
+    python -m repro tournament --machine small -o tournament.json
     python -m repro stats --json                 # telemetry artifact (JSON)
     python -m repro trace health --small -o health.trace.json
     python -m repro audit --machine small        # full simulation audit
@@ -54,6 +56,7 @@ from .config import MSHR_MODELS, get_machine, machine_names
 from .errors import ConfigError
 from .harness import (
     SCHEMES,
+    scheme_names,
     BackendError,
     BenchmarkRunner,
     ResultCache,
@@ -69,11 +72,13 @@ from .harness import (
     figure6,
     figure7,
     format_table,
+    is_tournament_spec,
     load_spec,
     onchip_table_ablation,
     parse_fault_plan,
     spec_artifact,
     table1,
+    tournament_summary,
     traversal_count_sweep,
 )
 from .harness.scheduler import DEFAULT_LEASE_TTL, DEFAULT_POOL_WAIT
@@ -390,12 +395,32 @@ def _parse_override_value(text: str):
             return text
 
 
+#: Default tournament spec, resolved against the repo checkout (the CLI
+#: runs from anywhere; a cwd-relative path is tried first).
+_TOURNAMENT_SPEC = "examples/specs/tournament.toml"
+
+
+def _default_tournament_spec() -> Path:
+    local = Path(_TOURNAMENT_SPEC)
+    if local.exists():
+        return local
+    return Path(__file__).resolve().parents[2] / _TOURNAMENT_SPEC
+
+
 def cmd_run_spec(args) -> int:
     if args.command == "submit":
         # ``repro submit`` is ``run-spec`` pinned to the service
         # backend: cells ship to long-lived ``repro serve`` pools.
         args.backend = "service"
+    if args.command == "tournament" and args.spec is None:
+        args.spec = _default_tournament_spec()
     spec = load_spec(args.spec)
+    if args.command == "tournament" and not is_tournament_spec(spec):
+        raise SystemExit(
+            f"error: {args.spec} is not a tournament spec (needs "
+            "telemetry = true, scheme-labeled matrix rows, and the "
+            "normalized/issued/outcome columns)"
+        )
     if args.machine:
         spec = spec.with_machine(args.machine)
     if args.small:
@@ -414,12 +439,24 @@ def cmd_run_spec(args) -> int:
           f"{compiled.cell_count} distinct cells", file=sys.stderr)
     rows = compiled.execute(executor=executor)
     print(format_table(rows, spec.title or spec.name))
+    summary = None
+    if is_tournament_spec(spec):
+        summary = tournament_summary(rows, label_key=spec.label_key)
+        print()
+        print(format_table(
+            summary,
+            "Tournament — schemes ranked by geomean normalized time "
+            "(lower is better)",
+        ))
     if args.output:
-        doc = spec_artifact(spec, rows, meta={
+        meta = {
             "source": str(args.spec),
             "machine": spec.machine,
             "sweep": executor.stats(),
-        })
+        }
+        if summary is not None:
+            meta["summary"] = summary
+        doc = spec_artifact(spec, rows, meta=meta)
         dump_json(doc, args.output)
         print(f"wrote {args.output}")
     _sweep_footer(executor)
@@ -737,7 +774,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one workload")
     run.add_argument("workload", choices=workload_names())
-    run.add_argument("--scheme", choices=SCHEMES, default="base")
+    run.add_argument("--scheme", choices=scheme_names(), default="base")
     run.add_argument("--all", action="store_true", help="run every scheme")
     run.add_argument("--idiom", default=None,
                      help="idiom for software/cooperative (default: paper's choice)")
@@ -752,7 +789,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("workload", nargs="?", default="health",
                        choices=workload_names())
-    stats.add_argument("--scheme", choices=SCHEMES, default=None,
+    stats.add_argument("--scheme", choices=scheme_names(), default=None,
                        help="restrict to one scheme (default: all five)")
     stats.add_argument("--idiom", default=None)
     stats.add_argument("--param", action="append", default=[],
@@ -771,7 +808,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("workload", nargs="?", default="health",
                        choices=workload_names())
-    trace.add_argument("--scheme", choices=SCHEMES, default="hardware")
+    trace.add_argument("--scheme", choices=scheme_names(), default="hardware")
     trace.add_argument("--idiom", default=None)
     trace.add_argument("--param", action="append", default=[],
                        metavar="KEY=VALUE")
@@ -800,6 +837,29 @@ def build_parser() -> argparse.ArgumentParser:
     spec_p.add_argument("-o", "--output", default=None, metavar="FILE",
                         help="also write the repro.experiment/1 artifact "
                              "(rows + the spec that produced them)")
+
+    tour = sub.add_parser(
+        "tournament",
+        help="race every scheme against every workload and rank them: "
+             "per-cell outcome breakdowns plus the geomean-normalized "
+             "summary (default spec: examples/specs/tournament.toml)",
+    )
+    tour.add_argument("spec", nargs="?", default=None,
+                      help="tournament spec file (default: the shipped "
+                           "examples/specs/tournament.toml)")
+    tour.add_argument("--machine", choices=machine_names(), default=None,
+                      help="run on this named machine instead of the "
+                           "spec's own")
+    tour.add_argument("--small", action="store_true",
+                      help="use every workload's quick test-size "
+                           "parameters (spec params still win)")
+    tour.add_argument("--set", action="append", default=[],
+                      metavar="PATH=VALUE",
+                      help="extra dotted-path machine override "
+                           "(repeatable)")
+    tour.add_argument("-o", "--output", default=None, metavar="FILE",
+                      help="also write the repro.experiment/1 artifact "
+                           "(rows + ranked summary in meta)")
 
     serve = sub.add_parser(
         "serve",
@@ -861,7 +921,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--workloads", nargs="+", default=None,
                        choices=workload_names(), metavar="WORKLOAD",
                        help="restrict the invariant sweep (default: all)")
-    audit.add_argument("--schemes", nargs="+", default=None, choices=SCHEMES,
+    audit.add_argument("--schemes", nargs="+", default=None, choices=scheme_names(),
                        metavar="SCHEME",
                        help="restrict the invariant sweep (default: all five)")
     audit.add_argument("--every", type=int, default=512, metavar="N",
@@ -893,7 +953,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     prof.add_argument("workload", nargs="?", default="health",
                       choices=workload_names())
-    prof.add_argument("--scheme", choices=SCHEMES, default="hardware")
+    prof.add_argument("--scheme", choices=scheme_names(), default="hardware")
     prof.add_argument("--idiom", default=None,
                       help="idiom for software/cooperative (default: paper's choice)")
     prof.add_argument("--param", action="append", default=[],
@@ -940,9 +1000,10 @@ def build_parser() -> argparse.ArgumentParser:
         "x2": "extension: creation overhead + traversal-count sweep",
     }
     for fig in ("table1", "figure4", "figure5", "figure6", "figure7", "x1",
-                "x2", "run-spec", "submit"):
-        p = sub.choices[fig] if fig in ("run-spec", "submit") else sub.add_parser(
-            fig, help=figure_help.get(fig, f"reproduce {fig}"))
+                "x2", "run-spec", "submit", "tournament"):
+        p = (sub.choices[fig] if fig in ("run-spec", "submit", "tournament")
+             else sub.add_parser(
+                 fig, help=figure_help.get(fig, f"reproduce {fig}")))
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="run sweep cells across N worker processes "
                             "(default: 1, serial; 0 = cgroup/affinity-"
@@ -1012,7 +1073,7 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_stats(args)
         if args.command == "trace":
             return cmd_trace(args)
-        if args.command in ("run-spec", "submit"):
+        if args.command in ("run-spec", "submit", "tournament"):
             return cmd_run_spec(args)
         if args.command == "serve":
             return cmd_serve(args)

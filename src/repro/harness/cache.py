@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
@@ -48,6 +49,8 @@ _FINGERPRINT_PACKAGES = ("isa", "mem", "cpu", "prefetch", "core", "workloads")
 _FINGERPRINT_MODULES = ("config.py", "errors.py")
 
 _fingerprint_cache: str | None = None
+
+logger = logging.getLogger(__name__)
 
 
 def code_fingerprint() -> str:
@@ -77,12 +80,15 @@ def _fsync_dir(path: Path) -> None:
     """
     try:
         fd = os.open(path, os.O_RDONLY)
-    except OSError:
+    except OSError as exc:
+        logger.debug("cannot open %s for fsync: %s", path, exc)
         return
     try:
         os.fsync(fd)
-    except OSError:
-        pass
+    except OSError as exc:
+        # Durability best-effort (some filesystems refuse directory
+        # fsync); correctness is unaffected, but leave a trace.
+        logger.debug("directory fsync of %s failed: %s", path, exc)
     finally:
         os.close(fd)
 
@@ -103,6 +109,7 @@ def canonical_spec(spec: "RunSpec") -> dict[str, Any]:
         "kind": spec.kind,
         "profile": spec.profile,
         "sim_engine": spec.sim_engine,
+        "telemetry": spec.telemetry,
         "config": spec.cfg.to_dict(),
         "code": code_fingerprint(),
     }
@@ -137,6 +144,11 @@ class ResultCache:
         self._invalid = self.registry.counter(
             "cache.invalid", help="unreadable/incompatible cache entries skipped"
         )
+        self._read_errors = self.registry.counter(
+            "cache.read_errors",
+            help="cache entries that existed but could not be read "
+                 "(I/O error or corruption, recomputed cold)",
+        )
 
     # ------------------------------------------------------------------
 
@@ -147,12 +159,27 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, spec: "RunSpec") -> SimResult | None:
-        """The cached :class:`SimResult` for ``spec``, or None on a miss."""
+        """The cached :class:`SimResult` for ``spec``, or None on a miss.
+
+        A missing entry is the normal cold miss.  An entry that *exists*
+        but cannot be read — permission failure, I/O error, truncated or
+        corrupt JSON — is also served as a miss (the sweep recomputes and
+        overwrites), but counted on ``cache.read_errors`` and logged with
+        its path, so silent cache-corruption never masquerades as a cold
+        cache (the corruption drill asserts on the counter)."""
         path = self.path(self.key(spec))
         try:
             with open(path) as f:
                 doc = json.load(f)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
+            self._misses.inc()
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            logger.warning(
+                "cache entry %s unreadable (%s: %s); recomputing",
+                path, type(exc).__name__, exc,
+            )
+            self._read_errors.inc()
             self._misses.inc()
             return None
         try:
@@ -189,8 +216,8 @@ class ResultCache:
         except BaseException:
             try:
                 os.unlink(tmp)
-            except OSError:
-                pass
+            except OSError as exc:
+                logger.debug("cannot remove temp entry %s: %s", tmp, exc)
             raise
         return path
 
@@ -212,12 +239,17 @@ class ResultCache:
         """Executor hook: count a successful :meth:`put`."""
         self._writes.inc()
 
+    @property
+    def read_errors(self) -> int:
+        return self._read_errors.value
+
     def stats(self) -> dict[str, int]:
         return {
             "hits": self._hits.value,
             "misses": self._misses.value,
             "writes": self._writes.value,
             "invalid": self._invalid.value,
+            "read_errors": self._read_errors.value,
         }
 
     def describe(self) -> str:

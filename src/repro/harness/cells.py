@@ -80,6 +80,13 @@ class RunSpec:
     identity — and with it the cache key — always names a concrete
     engine.  Engines are bit-identical, but keeping the key honest means
     a cached result always states which implementation produced it.
+
+    ``telemetry=True`` attaches a :class:`repro.obs.Telemetry` context to
+    a ``sim`` cell: the serialized metric registry and per-prefetch
+    outcome counts ride along in ``SimResult.telemetry`` (and into the
+    result cache — the flag is part of the cache key, like ``profile``).
+    Cycle counts are unaffected: a telemetry-attached run only forgoes
+    the fused compiled fast path, which is bit-identical anyway.
     """
 
     benchmark: str
@@ -90,6 +97,7 @@ class RunSpec:
     kind: str = "sim"
     profile: bool = False
     sim_engine: str = "table"
+    telemetry: bool = False
 
     @classmethod
     def make(
@@ -102,10 +110,11 @@ class RunSpec:
         kind: str = "sim",
         profile: bool = False,
         sim_engine: str | None = None,
+        telemetry: bool = False,
     ) -> "RunSpec":
         return cls(
             benchmark, variant, engine, cfg, _freeze_params(params), kind,
-            profile, sim_engine or default_sim_engine(),
+            profile, sim_engine or default_sim_engine(), telemetry,
         )
 
     @property
@@ -119,6 +128,8 @@ class RunSpec:
         tag = " (compute)" if self.cfg.perfect_data_memory else ""
         if self.profile:
             tag += " +profile"
+        if self.telemetry:
+            tag += " +telemetry"
         if self.sim_engine != "table":
             tag += f" [{self.sim_engine}]"
         return f"{label} x {self.engine}{tag}"
@@ -187,8 +198,14 @@ def run_cell(
             from ..obs.profile import Profiler
 
             profiler = Profiler()
+        telemetry = None
+        if spec.telemetry:
+            from ..obs import Telemetry
+
+            telemetry = Telemetry()
         result = simulate(program, spec.cfg, engine=spec.engine,
-                          profile=profiler, sim_engine=spec.sim_engine)
+                          profile=profiler, sim_engine=spec.sim_engine,
+                          telemetry=telemetry)
         return ("ok", result)
     except Exception as exc:
         return ("error", type(exc).__name__, traceback.format_exc())
@@ -218,6 +235,7 @@ def job_payload(spec: RunSpec, config_id: str) -> dict[str, Any]:
         "kind": spec.kind,
         "profile": spec.profile,
         "sim_engine": spec.sim_engine,
+        "telemetry": spec.telemetry,
         "config": config_id,
     }
 
@@ -234,6 +252,7 @@ def spec_from_payload(payload: dict[str, Any], cfg: MachineConfig) -> RunSpec:
         kind=payload.get("kind", "sim"),
         profile=bool(payload.get("profile", False)),
         sim_engine=payload.get("sim_engine", "table"),
+        telemetry=bool(payload.get("telemetry", False)),
     )
 
 

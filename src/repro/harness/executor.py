@@ -114,13 +114,14 @@ class SweepPlan:
         cfg: MachineConfig | None = None,
         profile: bool = False,
         sim_engine: str | None = None,
+        telemetry: bool = False,
     ) -> ScheduledRun:
         cfg = cfg or self.cfg
         workload = get_workload(benchmark, **(params or {}))
         variant, engine = scheme_plan(workload, scheme, idiom)
         return self._schedule(
             benchmark, scheme, variant, engine, params, cfg, profile,
-            sim_engine,
+            sim_engine, telemetry,
         )
 
     def add_variant_run(
@@ -132,12 +133,13 @@ class SweepPlan:
         cfg: MachineConfig | None = None,
         profile: bool = False,
         sim_engine: str | None = None,
+        telemetry: bool = False,
     ) -> ScheduledRun:
         """Arbitrary variant/engine pairing (Figure 4 idiom comparison)."""
         cfg = cfg or self.cfg
         return self._schedule(
             benchmark, f"{engine}:{variant}", variant, engine, params, cfg,
-            profile, sim_engine,
+            profile, sim_engine, telemetry,
         )
 
     def add_table1(
@@ -164,12 +166,14 @@ class SweepPlan:
         cfg: MachineConfig,
         profile: bool = False,
         sim_engine: str | None = None,
+        telemetry: bool = False,
     ) -> ScheduledRun:
-        # Only the timing cell is profiled; compute-time cells stay
-        # shareable across profiled and unprofiled experiments.
+        # Only the timing cell is profiled/telemetered; compute-time cells
+        # stay shareable across observed and unobserved experiments.
         timing = self.add(
             RunSpec.make(benchmark, variant, engine, cfg, params,
-                         profile=profile, sim_engine=sim_engine)
+                         profile=profile, sim_engine=sim_engine,
+                         telemetry=telemetry)
         )
         compute = self.add(
             RunSpec.make(benchmark, variant, "none", cfg.perfect(), params,

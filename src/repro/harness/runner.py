@@ -25,7 +25,7 @@ from ..config import MachineConfig, bench_config
 from ..cpu.simulator import simulate
 from ..cpu.stats import SimResult
 from ..workloads import get_workload
-from .schemes import scheme_names, scheme_plan
+from .schemes import paper_scheme_names, scheme_plan
 
 __all__ = [
     "SCHEMES", "BenchmarkRunner", "SchemeRun", "run_scheme", "scheme_plan",
@@ -33,13 +33,15 @@ __all__ = [
 
 
 def _schemes() -> tuple[str, ...]:
-    """The run matrix's scheme axis, straight from the registry."""
-    return tuple(scheme_names())
+    """The run matrix's scheme axis: the registry's ``"paper"`` group."""
+    return tuple(paper_scheme_names())
 
 
 #: The paper's five schemes in presentation order.  Derived from the
-#: scheme registry at import time so the two can never drift; prefer
-#: :func:`repro.harness.schemes.scheme_names` for late-registered ones.
+#: scheme registry at import time so the two can never drift — but
+#: filtered to the ``"paper"`` group, so zoo prefetchers (raced by
+#: ``repro tournament``) don't leak into the Figure 4/5/6 matrices.
+#: Use :func:`repro.harness.schemes.scheme_names` for the full list.
 SCHEMES = _schemes()
 
 

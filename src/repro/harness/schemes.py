@@ -17,6 +17,11 @@ scheme          program variant    engine         notes
 ``hardware``    baseline           hardware       DBP + JQT/JPR
 ``dbp``         baseline           dbp            comparison point [16]
 ==============  =================  =============  =========================
+
+The scheme zoo (``pointer-chase``, ``stride``, ``cdp``, ``foresight`` —
+:mod:`repro.prefetch.zoo`) registers below the paper's five; all run the
+unmodified baseline program on a competing hardware prefetcher and are
+raced by ``examples/specs/tournament.toml`` / ``repro tournament``.
 """
 
 from __future__ import annotations
@@ -45,6 +50,10 @@ class Scheme:
     variant: str | None = None
     variant_prefix: str = ""
     description: str = ""
+    #: ``"paper"`` schemes form the default figure matrix
+    #: (``runner.SCHEMES``); ``"zoo"`` schemes only run when named
+    #: explicitly (tournament spec, ``--scheme``, audit).
+    group: str = "paper"
 
     def __post_init__(self) -> None:
         if self.variant is None and not self.variant_prefix:
@@ -96,6 +105,16 @@ def scheme_names() -> list[str]:
     return SCHEME_REGISTRY.names()
 
 
+def paper_scheme_names() -> list[str]:
+    """The ``"paper"`` group, in registration order — the default matrix
+    for the figure experiments.  Zoo schemes run only when named
+    explicitly (tournament spec, ``--scheme``, the audit gate)."""
+    return [
+        name for name in SCHEME_REGISTRY.names()
+        if SCHEME_REGISTRY.get(name).group == "paper"
+    ]
+
+
 def scheme_plan(
     workload: Workload, scheme: str, idiom: str | None = None
 ) -> tuple[str, str]:
@@ -122,4 +141,32 @@ register_scheme(Scheme(
 register_scheme(Scheme(
     "dbp", engine="dbp", variant="baseline",
     description="dependence-based prefetching, comparison point [16]",
+))
+
+# -- the scheme zoo (ROADMAP: competing prefetchers, raced by the
+# tournament spec).  All hardware-side: they run the unmodified baseline
+# program, so adding one is exactly one registration.
+register_scheme(Scheme(
+    "pointer-chase", engine="pointer-chase", variant="baseline",
+    description="dedicated traversal unit chasing the recurrent "
+                "dependence ahead of the core (arXiv:1801.08088)",
+    group="zoo",
+))
+register_scheme(Scheme(
+    "stride", engine="stride", variant="baseline",
+    description="per-PC reference prediction table (Chen & Baer), the "
+                "non-pointer baseline",
+    group="zoo",
+))
+register_scheme(Scheme(
+    "cdp", engine="cdp", variant="baseline",
+    description="content-directed prefetching: chase every committed "
+                "value that looks like a heap pointer",
+    group="zoo",
+))
+register_scheme(Scheme(
+    "foresight", engine="foresight", variant="baseline",
+    description="proactive burst prefetch at annotated structure entry "
+                "(foresight-style, arXiv:2606.13321)",
+    group="zoo",
 ))

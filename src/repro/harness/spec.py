@@ -69,7 +69,7 @@ from .executor import (
     error_row,
 )
 from .runner import SchemeRun
-from .schemes import get_scheme, scheme_names
+from .schemes import get_scheme, paper_scheme_names
 
 
 class SpecError(ReproError):
@@ -103,6 +103,40 @@ METRICS: dict[str, Callable[[SchemeRun, SchemeRun, str], Any]] = {
         run.result.hierarchy.bytes_l1_l2 / base.result.instructions, 3
     ),
 }
+
+
+def _outcome_counts(run: SchemeRun) -> Mapping[str, int]:
+    tele = run.result.telemetry or {}
+    return tele.get("prefetch_outcomes", {}).get("counts", {})
+
+
+def _outcome_raw(run: SchemeRun, key: str) -> int:
+    tele = run.result.telemetry or {}
+    return tele.get("prefetch_outcomes", {}).get(key, 0)
+
+
+def _accuracy(run: SchemeRun) -> float:
+    issued = _outcome_raw(run, "issued")
+    if not issued:
+        return 0.0
+    return round(100 * _outcome_counts(run).get("timely", 0) / issued, 1)
+
+
+#: Per-prefetch outcome columns (Section-5 taxonomy, PR-1 obs layer).
+#: These read ``SimResult.telemetry`` and therefore require the spec to
+#: set ``telemetry = true`` (validated at spec construction).
+OUTCOME_COLUMNS = {
+    "timely": lambda run, base, name: _outcome_counts(run).get("timely", 0),
+    "late": lambda run, base, name: _outcome_counts(run).get("late", 0),
+    "early-evicted": lambda run, base, name: _outcome_counts(run).get(
+        "early-evicted", 0
+    ),
+    "useless": lambda run, base, name: _outcome_counts(run).get("useless", 0),
+    "dropped": lambda run, base, name: _outcome_counts(run).get("dropped", 0),
+    "issued": lambda run, base, name: _outcome_raw(run, "issued"),
+    "accuracy%": lambda run, base, name: _accuracy(run),
+}
+METRICS.update(OUTCOME_COLUMNS)
 
 #: Metrics that need the baseline run (a failed base fails the row).
 BASE_DEPENDENT = {"normalized", "mem_reduction%", "bytes/inst"}
@@ -245,6 +279,12 @@ class ExperimentSpec:
     empty to defer to ``$REPRO_SIM_ENGINE`` / the ``table`` default.
     Orthogonal to ``schemes`` (which pick *prefetch* engines) — every
     simulation engine yields bit-identical rows."""
+    telemetry: bool = False
+    """Attach a :class:`repro.obs.Telemetry` context to every timing
+    cell (``telemetry = true`` in the spec file): per-prefetch outcome
+    counts ride into the result cache with the ``SimResult``, unlocking
+    the :data:`OUTCOME_COLUMNS` (``timely``/``late``/…) and the
+    tournament's ranked summary.  Cycle counts are unchanged."""
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -270,6 +310,11 @@ class ExperimentSpec:
             seen.add(axis.name)
         axis_names = seen
         for col in self.columns:
+            if col in OUTCOME_COLUMNS and not self.telemetry:
+                raise SpecError(
+                    f"column {col!r} reads per-prefetch outcomes; set "
+                    "telemetry = true in the spec to collect them"
+                )
             if col == self.label_key or col in axis_names or col in METRICS:
                 continue
             raise SpecError(
@@ -305,6 +350,8 @@ class ExperimentSpec:
             d["profile"] = True
         if self.engine:
             d["engine"] = self.engine
+        if self.telemetry:
+            d["telemetry"] = True
         return d
 
     @classmethod
@@ -314,6 +361,7 @@ class ExperimentSpec:
         _reject_unknown("spec", data, {
             "name", "title", "kind", "machine", "overrides", "workloads",
             "schemes", "axes", "columns", "label_key", "profile", "engine",
+            "telemetry",
         })
         return cls(
             name=data.get("name", ""),
@@ -330,6 +378,7 @@ class ExperimentSpec:
             label_key=data.get("label_key", "scheme"),
             profile=bool(data.get("profile", False)),
             engine=data.get("engine", ""),
+            telemetry=bool(data.get("telemetry", False)),
         )
 
     # -- convenient variations ----------------------------------------
@@ -480,7 +529,9 @@ def compile_spec(
     overrides and axis settings still apply on top of it."""
     base_cfg = (cfg if cfg is not None else get_machine(spec.machine))
     base_cfg = base_cfg.with_overrides(spec.overrides)
-    schemes = spec.schemes or tuple(scheme_names())
+    # An empty scheme axis means the paper's default matrix; zoo schemes
+    # must be named explicitly (as tournament.toml does).
+    schemes = spec.schemes or tuple(paper_scheme_names())
     for scheme in schemes:
         get_scheme(scheme)  # unknown names fail at compile, not mid-sweep
 
@@ -501,11 +552,13 @@ def compile_spec(
                 rows.extend(_plan_idiom_rows(
                     plan, sel, params, point_cfg, axis_values,
                     profile=spec.profile, sim_engine=spec.engine or None,
+                    telemetry=spec.telemetry,
                 ))
             else:
                 rows.extend(_plan_scheme_rows(
                     plan, sel, schemes, params, point_cfg, axis_values,
                     profile=spec.profile, sim_engine=spec.engine or None,
+                    telemetry=spec.telemetry,
                 ))
     return CompiledSpec(spec, base_cfg, plan, rows)
 
@@ -519,17 +572,19 @@ def _plan_scheme_rows(
     axis_values: dict[str, Any],
     profile: bool = False,
     sim_engine: str | None = None,
+    telemetry: bool = False,
 ) -> list[_PlannedRow]:
     per_scheme = {
         s: plan.add_run(sel.name, s, params, idiom=sel.idiom, cfg=cfg,
-                        profile=profile, sim_engine=sim_engine)
+                        profile=profile, sim_engine=sim_engine,
+                        telemetry=telemetry)
         for s in schemes
     }
     # Normalization needs the baseline even when it is not displayed;
     # deduplication makes this free when "base" is already in schemes.
     base_sr = per_scheme.get("base") or plan.add_run(
         sel.name, "base", params, cfg=cfg, profile=profile,
-        sim_engine=sim_engine,
+        sim_engine=sim_engine, telemetry=telemetry,
     )
     return [
         _PlannedRow(sel.name, s, axis_values, run=per_scheme[s], base=base_sr)
@@ -545,12 +600,13 @@ def _plan_idiom_rows(
     axis_values: dict[str, Any],
     profile: bool = False,
     sim_engine: str | None = None,
+    telemetry: bool = False,
 ) -> list[_PlannedRow]:
     """Figure-4 expansion: the base run plus every available
     ``impl:idiom`` variant of the listed idioms."""
     workload = get_workload(sel.name, **params)
     base_sr = plan.add_run(sel.name, "base", params, cfg=cfg, profile=profile,
-                           sim_engine=sim_engine)
+                           sim_engine=sim_engine, telemetry=telemetry)
     rows = [_PlannedRow(
         sel.name, "base", axis_values, run=base_sr, base=base_sr
     )]
@@ -562,7 +618,8 @@ def _plan_idiom_rows(
                 continue
             vsr = plan.add_variant_run(sel.name, variant, engine, params,
                                        cfg=cfg, profile=profile,
-                                       sim_engine=sim_engine)
+                                       sim_engine=sim_engine,
+                                       telemetry=telemetry)
             rows.append(_PlannedRow(
                 sel.name, variant, axis_values, run=vsr, base=base_sr,
                 base_fallback="baseline run failed",

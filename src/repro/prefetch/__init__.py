@@ -1,7 +1,8 @@
-"""Prefetch engines: software, DBP, cooperative, and hardware JPP."""
+"""Prefetch engines: the paper's four schemes plus the scheme zoo."""
 
 from .adaptive import AdaptiveJumpQueueTable, AdaptiveStats
 from .base import EngineStats, PrefetchEngine, SoftwarePrefetchEngine
+from .bounded import BoundedClockMap
 from .dependence import DependencePredictor, ValueCorrelator
 from .engines import (
     ENGINE_CLASSES,
@@ -13,22 +14,33 @@ from .engines import (
     register_engine,
 )
 from .jqt import JumpPointerStorage, JumpQueueTable
+from .zoo import (
+    ContentDirectedEngine,
+    ForesightEngine,
+    PointerChaseEngine,
+    StrideEngine,
+)
 
 __all__ = [
     "AdaptiveJumpQueueTable",
     "AdaptiveStats",
+    "BoundedClockMap",
+    "ContentDirectedEngine",
     "CooperativeEngine",
     "DBPEngine",
     "DependencePredictor",
     "ENGINE_CLASSES",
     "ENGINES",
     "engine_names",
+    "ForesightEngine",
     "register_engine",
     "EngineStats",
     "HardwareJPPEngine",
     "JumpPointerStorage",
     "JumpQueueTable",
+    "PointerChaseEngine",
     "PrefetchEngine",
     "SoftwarePrefetchEngine",
+    "StrideEngine",
     "ValueCorrelator",
 ]

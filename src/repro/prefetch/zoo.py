@@ -1,0 +1,376 @@
+"""The scheme zoo: competing prefetchers from the related literature.
+
+The paper only races its own four schemes; these engines give
+jump-pointer prefetching outside competition (ROADMAP "scheme zoo"):
+
+* :class:`PointerChaseEngine` — a dedicated pointer-chase traversal
+  unit (after Srivastava & Navalakha, arXiv:1801.08088): one modeled
+  walker follows the recurrent ``next`` dependence ahead of the core,
+  serially, one memory latency per hop.  Unlike DBP's event-driven
+  unroll, the unit is a *resource* — it chases one chain at a time and
+  triggers that arrive while it is busy are simply not chased.
+* :class:`StrideEngine` — the classic per-PC reference prediction
+  table (Chen & Baer): an honest non-pointer baseline.  Strided
+  array code is its home turf; linked traversals defeat it because
+  node-to-node deltas are allocation noise.
+* :class:`ContentDirectedEngine` — content-directed prefetching
+  (Cooksey-style): every committed load value that looks like a heap
+  pointer is prefetched, and the pointed-to node is scanned for more
+  pointers once its fill returns.  Greedy, learning-free, and
+  bandwidth-hungry — the useless-prefetch column is its story.
+* :class:`ForesightEngine` — a foresight-style proactive scheme
+  (after Skiplists with Foresight, arXiv:2606.13321): on *entry* into
+  an annotated linked structure (a recurrent ``lds`` load whose base
+  register was produced outside the recurrence), it bursts a bounded
+  frontier of node prefetches down the learned recurrent offsets,
+  so the first hops of the traversal — the ones jump-pointer schemes
+  cannot cover before the queue fills — are already in flight.
+
+All four submit through the shared PRQ model (:meth:`PrefetchEngine.
+request`), keep their per-address state in :class:`~repro.prefetch.
+bounded.BoundedClockMap` (the PR-5 ``_recent_chase`` lesson, made
+reusable), and report structure bounds via ``audit_check`` so the
+:class:`repro.audit.Auditor` sweeps them like the paper's own engines.
+"""
+
+from __future__ import annotations
+
+from ..config import PrefetchConfig
+from ..isa.instruction import Instruction
+from .base import PrefetchEngine
+from .bounded import BoundedClockMap
+from .engines import DBPEngine, register_engine
+
+
+@register_engine
+class PointerChaseEngine(DBPEngine):
+    """Dedicated traversal unit chasing the recurrent dependence."""
+
+    name = "pointer-chase"
+
+    #: Nodes one walk may run ahead of the triggering load.
+    RUNAHEAD = 8
+    #: Prefetches one walk may issue (node fields fan out per hop).
+    WALK_BUDGET = 24
+    #: A node walked within this window is not walked again.
+    VISIT_WINDOW = 4096
+    VISIT_CAPACITY = 8192
+
+    def __init__(self, pcfg: PrefetchConfig | None = None) -> None:
+        super().__init__(pcfg)
+        self._visited = BoundedClockMap(self.VISIT_WINDOW,
+                                        self.VISIT_CAPACITY)
+        self._tu_free = 0          # traversal unit busy until this cycle
+        self._tu_clock_faults = 0  # times the unit clock would run backwards
+
+    def _walk(self, pc: int, node: int, time: int) -> None:
+        """One traversal-unit walk starting from ``node`` at ``time``."""
+        if time < self._tu_free:
+            # Unit is mid-chase on another chain: this trigger is lost
+            # (the modeled unit has no trigger queue).
+            self.stats.extra["tu_busy_drops"] = (
+                self.stats.extra.get("tu_busy_drops", 0) + 1
+            )
+            return
+        pairs = list(self.predictor.lookup(pc))
+        if not pairs:
+            return
+        self_offset = None
+        for consumer_pc, offset in pairs:
+            if consumer_pc == pc:
+                self_offset = offset
+                break
+        hop = self.cfg.memory_latency
+        budget = self.WALK_BUDGET
+        t = time
+        cur = node
+        line_mask = self.line_mask
+        for _ in range(self.RUNAHEAD):
+            if self._visited.check((pc, cur & line_mask), t):
+                break
+            for consumer_pc, offset in pairs:
+                if budget <= 0:
+                    break
+                addr = cur + offset
+                if addr % 4 or addr < 0:
+                    continue
+                budget -= 1
+                self.request(addr, t, kind="chase", pc=consumer_pc)
+            self.stats.extra["tu_hops"] = (
+                self.stats.extra.get("tu_hops", 0) + 1
+            )
+            if budget <= 0 or self_offset is None:
+                break
+            nxt = self.timing_mem.peek(cur + self_offset)
+            if not self.valid_pointer(nxt) or nxt == cur:
+                break
+            # The unit dereferences the next pointer itself: one full
+            # memory access of pacing per hop (the chase is serial).
+            t += hop
+            cur = nxt
+        if t < self._tu_free:
+            self._tu_clock_faults += 1
+        else:
+            self._tu_free = t
+
+    def on_load_commit(
+        self,
+        inst: Instruction,
+        addr: int,
+        value: int | float,
+        time: int,
+        producer_pc: int | None,
+        producer_value: int | float | None,
+    ) -> None:
+        self._learn(inst, addr, producer_pc, producer_value)
+        pc = inst.index
+        if pc in self.recurrent_pcs and self.valid_pointer(value):
+            self._walk(pc, value, time)
+
+    def audit_check(self, now: int) -> list[tuple[str, str]]:
+        violations = super().audit_check(now)
+        violations.extend(self._visited.audit_check("chase-visited"))
+        if self._tu_clock_faults:
+            violations.append((
+                "traversal-clock-monotone",
+                f"traversal unit clock ran backwards "
+                f"{self._tu_clock_faults} time(s)",
+            ))
+        return violations
+
+
+@register_engine
+class StrideEngine(PrefetchEngine):
+    """Per-PC reference prediction table (stride prefetching)."""
+
+    name = "stride"
+    uses_prefetch_buffer = True
+    needs_issue_hook = True
+
+    #: RPT capacity (static load sites tracked).
+    TABLE_ENTRIES = 512
+    #: Confidence saturates here; prefetch at >= :data:`CONF_THRESHOLD`.
+    CONF_MAX = 3
+    CONF_THRESHOLD = 2
+    #: Lines prefetched ahead of a confident stride.
+    DEGREE = 2
+    #: A line prefetched within this window is not re-requested.
+    RECENT_WINDOW = 512
+    RECENT_CAPACITY = 4096
+
+    def __init__(self, pcfg: PrefetchConfig | None = None) -> None:
+        super().__init__(pcfg)
+        # pc -> [last_addr, stride, confidence]
+        self._rpt: dict[int, list[int]] = {}
+        self._recent = BoundedClockMap(self.RECENT_WINDOW,
+                                       self.RECENT_CAPACITY)
+
+    def on_load_issue(self, inst: Instruction, addr: int, time: int) -> None:
+        pc = inst.index
+        entry = self._rpt.get(pc)
+        if entry is None:
+            if len(self._rpt) >= self.TABLE_ENTRIES:
+                # FIFO eviction: static PCs mostly fit; rolling over is
+                # deterministic and bounded either way.
+                del self._rpt[next(iter(self._rpt))]
+            self._rpt[pc] = [addr, 0, 0]
+            return
+        last, stride, conf = entry
+        new_stride = addr - last
+        if new_stride == stride and stride != 0:
+            conf = min(conf + 1, self.CONF_MAX)
+        elif conf > 0:
+            conf -= 1
+        else:
+            stride = new_stride
+        entry[0] = addr
+        entry[1] = stride
+        entry[2] = conf
+        if conf < self.CONF_THRESHOLD or stride == 0:
+            return
+        line_mask = self.line_mask
+        for d in range(1, self.DEGREE + 1):
+            target = addr + stride * d
+            if target < 0:
+                break
+            line = target & line_mask
+            if line == addr & line_mask or self._recent.check(line, time):
+                continue
+            self.request(target, time, kind="stride", pc=pc)
+
+    def audit_check(self, now: int) -> list[tuple[str, str]]:
+        violations = super().audit_check(now)
+        if len(self._rpt) > self.TABLE_ENTRIES:
+            violations.append((
+                "rpt-capacity",
+                f"{len(self._rpt)} RPT entries > "
+                f"capacity {self.TABLE_ENTRIES}",
+            ))
+        for pc, (__, ___, conf) in self._rpt.items():
+            if not 0 <= conf <= self.CONF_MAX:
+                violations.append((
+                    "stride-confidence-range",
+                    f"pc {pc}: confidence {conf} outside "
+                    f"[0, {self.CONF_MAX}]",
+                ))
+        violations.extend(self._recent.audit_check("stride-recent"))
+        return violations
+
+
+@register_engine
+class ContentDirectedEngine(PrefetchEngine):
+    """Content-directed prefetching: chase anything pointer-shaped."""
+
+    name = "cdp"
+    uses_prefetch_buffer = True
+    needs_dataflow = True
+
+    #: Words of the pointed-to node scanned for second-level pointers.
+    SCAN_WORDS = 8
+    #: Prefetches one committed load may spawn (1 target + scan hits).
+    TRIGGER_BUDGET = 4
+    #: A line prefetched within this window is not re-requested.
+    RECENT_WINDOW = 1024
+    RECENT_CAPACITY = 8192
+
+    def __init__(self, pcfg: PrefetchConfig | None = None) -> None:
+        super().__init__(pcfg)
+        self._recent = BoundedClockMap(self.RECENT_WINDOW,
+                                       self.RECENT_CAPACITY)
+        self._budget = 0
+
+    def on_load_commit(
+        self,
+        inst: Instruction,
+        addr: int,
+        value: int | float,
+        time: int,
+        producer_pc: int | None,
+        producer_value: int | float | None,
+    ) -> None:
+        if not self.valid_pointer(value):
+            return
+        line_mask = self.line_mask
+        if self._recent.check(value & line_mask, time):
+            return
+        self._budget = self.TRIGGER_BUDGET - 1
+        pc = inst.index
+        done = self.request(value, time, kind="cdp", pc=pc)
+        if done is None:
+            return
+        # Once the node arrives, scan it for more pointers (the
+        # content-directed recursion, depth 2, budget-bounded).
+        peek = self.timing_mem.peek
+        for w in range(self.SCAN_WORDS):
+            if self._budget <= 0:
+                break
+            word = peek(value + 4 * w)
+            if not self.valid_pointer(word) or word == value:
+                continue
+            if self._recent.check(word & line_mask, done):
+                continue
+            self._budget -= 1
+            self.request(word, done, kind="cdp", pc=pc)
+
+    def audit_check(self, now: int) -> list[tuple[str, str]]:
+        violations = super().audit_check(now)
+        violations.extend(self._recent.audit_check("cdp-recent"))
+        if self._budget < 0:
+            violations.append((
+                "cdp-budget-nonnegative",
+                f"content-scan budget is {self._budget}",
+            ))
+        return violations
+
+
+@register_engine
+class ForesightEngine(DBPEngine):
+    """Proactive structure-entry prefetching over idiom annotations."""
+
+    name = "foresight"
+
+    #: Nodes prefetched per structure entry (frontier size bound).
+    BURST_NODES = 8
+    #: Frontier levels walked per entry (trees fan out; lists go deep).
+    BURST_DEPTH = 8
+    #: One structure head re-entered within this window is not re-burst.
+    ENTRY_WINDOW = 2048
+    ENTRY_CAPACITY = 4096
+
+    def __init__(self, pcfg: PrefetchConfig | None = None) -> None:
+        super().__init__(pcfg)
+        self._entries = BoundedClockMap(self.ENTRY_WINDOW,
+                                        self.ENTRY_CAPACITY)
+
+    def _burst(self, pc: int, head: int, time: int) -> None:
+        """Prefetch a bounded frontier of nodes reachable from ``head``."""
+        pairs = [
+            (cpc, off) for cpc, off in self.predictor.lookup(pc)
+            if cpc in self.recurrent_pcs
+        ]
+        if not pairs:
+            return
+        peek = self.timing_mem.peek
+        budget = self.BURST_NODES
+        frontier = [head]
+        seen = {head}
+        for __ in range(self.BURST_DEPTH):
+            if budget <= 0 or not frontier:
+                break
+            nxt_frontier: list[int] = []
+            for node in frontier:
+                if budget <= 0:
+                    break
+                budget -= 1
+                self.request(node, time, kind="foresight", pc=pc)
+                self.stats.extra["foresight_nodes"] = (
+                    self.stats.extra.get("foresight_nodes", 0) + 1
+                )
+                for __, offset in pairs:
+                    link = peek(node + offset)
+                    if (
+                        self.valid_pointer(link) and link not in seen
+                        and isinstance(link, int)
+                    ):
+                        seen.add(link)
+                        nxt_frontier.append(link)
+            frontier = nxt_frontier
+
+    def on_load_commit(
+        self,
+        inst: Instruction,
+        addr: int,
+        value: int | float,
+        time: int,
+        producer_pc: int | None,
+        producer_value: int | float | None,
+    ) -> None:
+        self._learn(inst, addr, producer_pc, producer_value)
+        pc = inst.index
+        if (
+            inst.tag != "lds"                 # idiom annotation gate
+            or pc not in self.recurrent_pcs
+            or not self.valid_pointer(value)
+        ):
+            return
+        if producer_pc is not None and producer_pc in self.recurrent_pcs:
+            return  # mid-traversal, not a structure entry
+        if self._entries.check((pc, value & self.line_mask), time):
+            return
+        self.stats.extra["structure_entries"] = (
+            self.stats.extra.get("structure_entries", 0) + 1
+        )
+        self._burst(pc, value, time)
+
+    def audit_check(self, now: int) -> list[tuple[str, str]]:
+        violations = super().audit_check(now)
+        violations.extend(self._entries.audit_check("foresight-entry"))
+        return violations
+
+
+__all__ = [
+    "ContentDirectedEngine",
+    "ForesightEngine",
+    "PointerChaseEngine",
+    "StrideEngine",
+]

@@ -140,9 +140,10 @@ def test_stats_json_artifact(capsys):
     assert main(["stats", "health", "--small", "--json"]) == 0
     doc = json.loads(capsys.readouterr().out)
     assert doc["schema"] == "repro.stats/1"
-    assert set(doc["engines"]) == {
-        "base", "software", "cooperative", "hardware", "dbp",
-    }
+    from repro.harness import SCHEMES
+
+    # Default stats matrix is the paper five; zoo engines opt in by name.
+    assert set(doc["engines"]) == set(SCHEMES)
     hw = doc["engines"]["hardware"]
     assert set(hw["prefetch_outcomes"]) == {
         "timely", "late", "early-evicted", "useless", "dropped",

@@ -82,12 +82,20 @@ class TestSchemeRegistry:
     def test_paper_order(self):
         assert scheme_names() == [
             "base", "software", "cooperative", "hardware", "dbp",
+            "pointer-chase", "stride", "cdp", "foresight",
         ]
 
     def test_runner_schemes_derived_from_registry(self):
-        # Drift guard: runner.SCHEMES must be the registry's view, so a
-        # newly registered scheme automatically reaches the runner.
-        assert SCHEMES == tuple(scheme_names())
+        # Drift guard: runner.SCHEMES must be the registry's paper-group
+        # view, so a newly registered paper scheme automatically reaches
+        # the runner — while zoo schemes stay out of the figure matrices.
+        assert SCHEMES == tuple(
+            name for name in scheme_names()
+            if get_scheme(name).group == "paper"
+        )
+        assert SCHEMES == ("base", "software", "cooperative",
+                           "hardware", "dbp")
+        assert set(SCHEMES) < set(scheme_names())
 
     def test_every_scheme_engine_registered(self):
         for name in scheme_names():
@@ -118,7 +126,7 @@ class TestDescribeRegistries:
         assert set(desc) == {"machines", "schemes", "engines",
                              "sim_engines", "mshr_models", "workloads"}
         assert desc["machines"] == ["table2", "bench", "small"]
-        assert desc["schemes"] == list(SCHEMES)
+        assert desc["schemes"] == scheme_names()  # full registry, zoo too
         assert "software" in desc["engines"]
         assert desc["sim_engines"] == ["table", "reference", "compiled"]
         assert desc["mshr_models"] == ["blocking", "coalescing", "full"]

@@ -95,7 +95,39 @@ class TestRobustness:
         path.parent.mkdir(parents=True)
         path.write_text("{ not json")
         assert cache.get(spec) is None
-        assert cache.stats()["invalid"] == 0  # unreadable, plain miss
+        assert cache.stats()["invalid"] == 0  # unreadable, not schema-bad
+
+    def test_unreadable_entry_counts_and_logs(self, cfg, cache, caplog):
+        # Corruption/permission failures must never masquerade as a
+        # plain cold miss: the read_errors counter and a warning naming
+        # the path are the corruption drill's evidence.
+        spec = RunSpec.make("treeadd", "baseline", "none", cfg, TREEADD)
+        path = cache.path(cache.key(spec))
+        path.parent.mkdir(parents=True)
+        path.write_text("{ truncated")
+        with caplog.at_level("WARNING", logger="repro.harness.cache"):
+            assert cache.get(spec) is None
+        assert cache.read_errors == 1
+        assert cache.stats()["read_errors"] == 1
+        assert any(str(path) in rec.getMessage() for rec in caplog.records)
+
+    def test_cold_miss_is_not_a_read_error(self, cfg, cache):
+        spec = RunSpec.make("treeadd", "baseline", "none", cfg, TREEADD)
+        assert cache.get(spec) is None
+        assert cache.read_errors == 0
+        assert cache.misses == 1
+
+    def test_read_error_counter_in_registry(self, cfg, tmp_path):
+        registry = MetricRegistry()
+        cache = ResultCache(tmp_path, registry=registry)
+        spec = RunSpec.make("treeadd", "baseline", "none", cfg, TREEADD)
+        path = cache.path(cache.key(spec))
+        path.parent.mkdir(parents=True)
+        path.write_text("not even close")
+        assert cache.get(spec) is None
+        dump = registry.to_dict()
+        assert dump["cache.read_errors"]["value"] == 1
+        assert dump["cache.misses"]["value"] == 1
 
     def test_wrong_schema_is_invalid(self, cfg, cache):
         spec = RunSpec.make("treeadd", "baseline", "none", cfg, TREEADD)
